@@ -1,0 +1,73 @@
+// Command benchsuite regenerates the paper's evaluation: every table and
+// figure of §4 plus the design-choice ablations, printed as rows of
+// virtual-time phase breakdowns.
+//
+// Usage:
+//
+//	benchsuite [-exp all|fig1a|fig1b|table1|table2|fig3a|fig3b|fig4|ablations]
+//	           [-dbseqs N] [-family N] [-querybytes N]
+//
+// Times are virtual seconds from the cluster simulation; see EXPERIMENTS.md
+// for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parblast/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, fig1a, fig1b, table1, table2, fig3a, fig3b, fig4, ablations, hetero")
+	dbSeqs := flag.Int("dbseqs", 0, "override database sequence count")
+	family := flag.Int("family", 0, "override family size (database redundancy)")
+	queryBytes := flag.Int("querybytes", 0, "override the default ('150 KB'-equivalent) query set volume")
+	flag.Parse()
+
+	lab := experiments.DefaultLab()
+	if *dbSeqs > 0 {
+		lab.DB.NumSeqs = *dbSeqs
+	}
+	if *family > 0 {
+		lab.DB.FamilySize = *family
+	}
+	if *queryBytes > 0 {
+		lab.QuerySizes[2] = *queryBytes
+	}
+
+	runs := map[string]struct {
+		title string
+		fn    func(*experiments.Lab) ([]experiments.Row, error)
+	}{
+		"fig1a":     {"Figure 1(a): mpiBLAST time distribution", experiments.Fig1a},
+		"fig1b":     {"Figure 1(b): fragment-count sensitivity (32 procs)", experiments.Fig1b},
+		"table1":    {"Table 1: phase breakdown at 32 processes", experiments.Table1},
+		"table2":    {"Table 2: query size vs output size", experiments.Table2},
+		"fig3a":     {"Figure 3(a): node scalability (Altix/XFS)", experiments.Fig3a},
+		"fig3b":     {"Figure 3(b): output scalability at 62 processes", experiments.Fig3b},
+		"fig4":      {"Figure 4: node scalability (blade/NFS)", experiments.Fig4},
+		"ablations": {"Ablations: output mode, pruning, granularity", experiments.Ablations},
+		"hetero":    {"Heterogeneous cluster: static vs dynamic partitioning", experiments.Hetero},
+	}
+
+	if *exp == "all" {
+		if err := experiments.All(os.Stdout, &lab); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	r, ok := runs[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchsuite: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	rows, err := r.fn(&lab)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	experiments.PrintRows(os.Stdout, r.title, rows)
+}

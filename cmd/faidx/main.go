@@ -1,0 +1,102 @@
+// Command faidx builds and uses random-access indexes over FASTA files,
+// in the style of samtools faidx: with only a file argument it writes
+// <file>.fai; with region arguments (name or name:from-to, 1-based
+// inclusive) it prints the requested subsequences without scanning the
+// file.
+//
+// Usage:
+//
+//	faidx big.fasta                    # build big.fasta.fai
+//	faidx big.fasta seq12 seq99:40-120 # fetch records/ranges
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"parblast/internal/fasta"
+	"parblast/internal/seq"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: faidx <file.fasta> [region ...]")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "faidx:", err)
+		os.Exit(1)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+
+	faiPath := path + ".fai"
+	var ix *fasta.Index
+	if fai, err := os.Open(faiPath); err == nil {
+		ix, err = fasta.ReadFai(fai)
+		fai.Close()
+		if err != nil {
+			fail(fmt.Errorf("reading %s: %w", faiPath, err))
+		}
+	} else {
+		ix, err = fasta.BuildIndex(f)
+		if err != nil {
+			fail(err)
+		}
+		out, err := os.Create(faiPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := ix.WriteFai(out); err != nil {
+			fail(err)
+		}
+		if err := out.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "faidx: wrote %s (%d records)\n", faiPath, len(ix.Entries()))
+	}
+
+	for _, region := range os.Args[2:] {
+		name, from, to, err := parseRegion(ix, region)
+		if err != nil {
+			fail(err)
+		}
+		letters, err := ix.Fetch(f, name, from, to)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf(">%s:%d-%d\n%s\n", name, from+1, to, seq.FormatResidues(string(letters), 60))
+	}
+}
+
+// parseRegion handles "name" (whole record) and "name:from-to" (1-based
+// inclusive, as in samtools).
+func parseRegion(ix *fasta.Index, region string) (name string, from, to int, err error) {
+	name = region
+	if i := strings.LastIndexByte(region, ':'); i >= 0 {
+		rangePart := region[i+1:]
+		if dash := strings.IndexByte(rangePart, '-'); dash >= 0 {
+			a, errA := strconv.Atoi(rangePart[:dash])
+			b, errB := strconv.Atoi(rangePart[dash+1:])
+			if errA == nil && errB == nil {
+				name = region[:i]
+				if a < 1 || b < a {
+					return "", 0, 0, fmt.Errorf("bad range %q", region)
+				}
+				return name, a - 1, b, nil
+			}
+		}
+	}
+	e, ok := ix.Lookup(name)
+	if !ok {
+		return "", 0, 0, fmt.Errorf("record %q not found", name)
+	}
+	return name, 0, e.Length, nil
+}

@@ -1,0 +1,188 @@
+// Command parblast runs a parallel BLAST search on the simulated cluster:
+// it loads a FASTA database and query set from the real filesystem, formats
+// the database, executes the chosen engine, writes the report, and prints
+// the virtual-time phase breakdown.
+//
+// Usage:
+//
+//	parblast -db nr.fasta -query queries.fasta -out results.txt \
+//	         [-engine pio|mpi|seq] [-procs 32] [-platform altix|blade|ideal] \
+//	         [-fragments N] [-early-prune] [-independent-output]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"parblast"
+	"parblast/internal/fasta"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "database FASTA file")
+	dbDir := flag.String("dbdir", "", "directory of formatted database files (from cmd/formatdb); use with -dbname")
+	dbName := flag.String("dbname", "db", "database base name inside -dbdir")
+	queryPath := flag.String("query", "", "query FASTA file")
+	outPath := flag.String("out", "results.txt", "output report path")
+	engineName := flag.String("engine", "pio", "engine: pio, mpi, or seq")
+	procs := flag.Int("procs", 8, "number of simulated MPI processes")
+	platformName := flag.String("platform", "altix", "cluster platform: altix, blade, or ideal")
+	fragments := flag.Int("fragments", 0, "partition granularity (0 = one fragment per worker)")
+	earlyPrune := flag.Bool("early-prune", false, "pioBLAST: early score communication (§5)")
+	independent := flag.Bool("independent-output", false, "pioBLAST: independent instead of collective writes (ablation)")
+	title := flag.String("title", "database", "database title for report headers")
+	outfmt := flag.String("outfmt", "pairwise", "report format: pairwise or tabular")
+	filter := flag.Bool("filter", false, "mask low-complexity query regions for seeding (-F)")
+	dynamic := flag.Bool("dynamic", false, "pioBLAST: greedy run-time fragment assignment (§5)")
+	batch := flag.Int("batch", 0, "pioBLAST: queries per collective write (§5 query batching)")
+	memBudget := flag.Int64("membudget", 0, "pioBLAST: adaptive batching memory budget in bytes (§5)")
+	timeline := flag.Bool("timeline", false, "print a per-rank phase timeline after the run")
+	flag.Parse()
+
+	if (*dbPath == "" && *dbDir == "") || *queryPath == "" {
+		fmt.Fprintln(os.Stderr, "parblast: -db (or -dbdir) and -query are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "parblast:", err)
+		os.Exit(1)
+	}
+
+	var eng parblast.Engine
+	switch *engineName {
+	case "pio":
+		eng = parblast.EnginePioBLAST
+	case "mpi":
+		eng = parblast.EngineMPIBlast
+	case "seq":
+		eng = parblast.EngineSequential
+	default:
+		fail(fmt.Errorf("unknown engine %q", *engineName))
+	}
+	var platform parblast.Platform
+	switch *platformName {
+	case "altix":
+		platform = parblast.PlatformAltix
+	case "blade":
+		platform = parblast.PlatformBladeCluster
+	case "ideal":
+		platform = parblast.PlatformIdeal
+	default:
+		fail(fmt.Errorf("unknown platform %q", *platformName))
+	}
+
+	queries, err := fasta.ReadFile(*queryPath, nil)
+	if err != nil {
+		fail(err)
+	}
+	if len(queries) == 0 {
+		fail(fmt.Errorf("empty query set"))
+	}
+
+	cluster, err := parblast.NewCluster(*procs, platform)
+	if err != nil {
+		fail(err)
+	}
+	var collector *parblast.TraceCollector
+	if *timeline {
+		collector = cluster.Trace()
+	}
+	var db *parblast.DB
+	if *dbDir != "" {
+		// Import a pre-formatted database (cmd/formatdb output) onto the
+		// cluster's shared file system — no re-formatting.
+		entries, err := os.ReadDir(*dbDir)
+		if err != nil {
+			fail(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(*dbDir, e.Name()))
+			if err != nil {
+				fail(err)
+			}
+			cluster.SharedFS().WriteFile(e.Name(), data)
+		}
+		db, err = cluster.OpenDB(*dbName)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		dbSeqs, err := fasta.ReadFile(*dbPath, nil)
+		if err != nil {
+			fail(err)
+		}
+		if len(dbSeqs) == 0 {
+			fail(fmt.Errorf("empty database"))
+		}
+		db, err = cluster.FormatDB("db", dbSeqs, *title)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if eng == parblast.EngineMPIBlast {
+		n := *fragments
+		if n == 0 {
+			n = *procs - 1
+		}
+		if err := cluster.PrepareFragments("db", n); err != nil {
+			fail(err)
+		}
+	}
+	search := parblast.Search{
+		DB:        db,
+		Queries:   queries,
+		Output:    "results.out",
+		Fragments: *fragments,
+		Pio: parblast.PioOptions{
+			EarlyPrune:        *earlyPrune,
+			IndependentOutput: *independent,
+			DynamicAssignment: *dynamic,
+			QueryBatch:        *batch,
+			MemoryBudgetBytes: *memBudget,
+		},
+	}
+	if db.Kind == parblast.DNA {
+		search.Options = parblast.DefaultDNAOptions()
+	} else {
+		search.Options = parblast.DefaultProteinOptions()
+	}
+	search.Options.FilterLowComplexity = *filter
+	switch *outfmt {
+	case "pairwise":
+	case "tabular":
+		search.Options.OutFormat = parblast.FormatTabular
+	default:
+		fail(fmt.Errorf("unknown output format %q", *outfmt))
+	}
+	res, err := cluster.Run(eng, search)
+	if err != nil {
+		fail(err)
+	}
+	report, err := cluster.ReadOutput("results.out")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*outPath, report, 0o644); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("engine=%s platform=%s procs=%d queries=%d db=%d seqs/%d residues\n",
+		eng, platform, *procs, len(queries), db.NumSeqs, db.TotalResidues)
+	if eng != parblast.EngineSequential {
+		b := res.Phase
+		fmt.Printf("virtual time:  copy=%.2fs input=%.2fs search=%.2fs output=%.2fs other=%.2fs\n",
+			b.Copy, b.Input, b.Search, b.Output, b.Other)
+		fmt.Printf("total=%.2fs  search share=%.1f%%\n", res.Wall, res.SearchFraction()*100)
+	}
+	fmt.Printf("report: %d bytes → %s\n", len(report), *outPath)
+	if collector != nil {
+		fmt.Println()
+		collector.Render(os.Stdout, 100)
+	}
+}

@@ -1,0 +1,3 @@
+module parblast
+
+go 1.22

@@ -1,0 +1,123 @@
+package blast
+
+import (
+	"math/rand"
+	"testing"
+
+	"parblast/internal/matrix"
+	"parblast/internal/seq"
+	"parblast/internal/stats"
+)
+
+// benchFixture builds a mid-sized fragment with planted homologs.
+func benchFixture(nSubj, subjLen int) (*Fragment, *seq.Sequence) {
+	rng := rand.New(rand.NewSource(42))
+	frag := &Fragment{}
+	for i := 0; i < nSubj; i++ {
+		frag.Subjects = append(frag.Subjects, Subject{
+			OID: i, ID: "s" + itoa(i), Residues: randomProtein(rng, subjLen),
+		})
+	}
+	query := proteinSeq("bench-query", randomProtein(rng, 300))
+	for _, oid := range []int{3, 17, 41} {
+		if oid < nSubj {
+			hom := mutate(rng, query.Residues, 0.15)
+			if len(hom) > subjLen-10 {
+				hom = hom[:subjLen-10]
+			}
+			copy(frag.Subjects[oid].Residues[5:], hom)
+		}
+	}
+	return frag, query
+}
+
+func BenchmarkSearchFragment(b *testing.B) {
+	frag, query := benchFixture(64, 400)
+	s, err := NewSearcher(DefaultProteinOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := s.NewContext()
+	if err := ctx.SetQuery(query); err != nil {
+		b.Fatal(err)
+	}
+	space := stats.NewSearchSpace(s.GappedParams(), query.Len(), frag.TotalResidues(), len(frag.Subjects))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.SearchFragment(frag, space)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Hits) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+	b.ReportMetric(float64(frag.TotalResidues()), "residues")
+}
+
+func BenchmarkBuildIndexProtein(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	query := randomProtein(rng, 300)
+	opts := DefaultProteinOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx, err := buildIndex(query, &opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if idx.neighbors == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}
+
+func BenchmarkExtendGapped(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	q := randomProtein(rng, 200)
+	s := mutate(rng, q, 0.15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var work WorkCounters
+		r := extendGapped(q, s, matrix.BLOSUM62, matrix.DefaultProteinGaps, 1<<20, &work)
+		if r.score <= 0 {
+			b.Fatal("extension failed")
+		}
+	}
+}
+
+func BenchmarkExtendUngapped(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	q := randomProtein(rng, 200)
+	subj := append(append(randomProtein(rng, 100), q...), randomProtein(rng, 100)...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var work WorkCounters
+		seg := extendUngapped(q, subj, 50, 150, matrix.BLOSUM62, 40, &work)
+		if seg.score <= 0 {
+			b.Fatal("ungapped extension failed")
+		}
+	}
+}
+
+func BenchmarkFormatHit(b *testing.B) {
+	frag, query := benchFixture(16, 400)
+	s, _ := NewSearcher(DefaultProteinOptions())
+	ctx := s.NewContext()
+	if err := ctx.SetQuery(query); err != nil {
+		b.Fatal(err)
+	}
+	space := stats.NewSearchSpace(s.GappedParams(), query.Len(), frag.TotalResidues(), len(frag.Subjects))
+	res, err := ctx.SearchFragment(frag, space)
+	if err != nil || len(res.Hits) == 0 {
+		b.Fatal("no hits to format")
+	}
+	hit := res.Hits[0]
+	subj := frag.Subjects[hit.OID].Residues
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := FormatHit(query, subj, hit, matrix.BLOSUM62)
+		if len(out) == 0 {
+			b.Fatal("empty block")
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package blast
+
+import (
+	"parblast/internal/matrix"
+)
+
+const negInf = int(-1) << 30
+
+// ungappedSegment is the result of a two-directional ungapped extension.
+type ungappedSegment struct {
+	qFrom, qTo int // half-open query range
+	sFrom, sTo int // half-open subject range
+	score      int
+	// seedQ/seedS is the point the gapped extension starts from: the middle
+	// of the segment projected onto the hit diagonal (the classic choice).
+	seedQ, seedS int
+}
+
+// extendUngapped grows a word hit at (qPos, sPos) in both directions with an
+// X-drop cutoff, returning the maximal-scoring segment. The word itself is
+// part of the right extension, so scores are never double counted.
+func extendUngapped(query, subj []byte, qPos, sPos int, m *matrix.Matrix, xdrop int, work *WorkCounters) ungappedSegment {
+	work.UngappedExtensions++
+	// Right extension: from the word start onward.
+	score := 0
+	best := 0
+	q, s := qPos, sPos
+	bq, bs := qPos, sPos
+	for q < len(query) && s < len(subj) {
+		score += m.Score(query[q], subj[s])
+		work.UngappedCells++
+		q++
+		s++
+		if score > best {
+			best = score
+			bq, bs = q, s
+		}
+		if best-score > xdrop {
+			break
+		}
+	}
+	seg := ungappedSegment{qFrom: qPos, qTo: bq, sFrom: sPos, sTo: bs, score: best}
+	// Left extension: before the word start.
+	score = 0
+	bestL := 0
+	q, s = qPos, sPos
+	lq, ls := qPos, sPos
+	for q > 0 && s > 0 {
+		q--
+		s--
+		score += m.Score(query[q], subj[s])
+		work.UngappedCells++
+		if score > bestL {
+			bestL = score
+			lq, ls = q, s
+		}
+		if bestL-score > xdrop {
+			break
+		}
+	}
+	seg.qFrom, seg.sFrom = lq, ls
+	seg.score += bestL
+	mid := (seg.qFrom + seg.qTo) / 2
+	seg.seedQ = mid
+	seg.seedS = seg.sFrom + (mid - seg.qFrom)
+	return seg
+}
+
+// gappedResult carries one direction of a gapped X-drop extension.
+type gappedResult struct {
+	score int
+	qEnd  int // query residues consumed
+	sEnd  int // subject residues consumed
+	ops   []EditOp
+}
+
+// Traceback cell encoding (Gotoh): 2 bits for the H source plus explicit
+// gap-open flags for the E and F recurrences, which makes the walk exact.
+const (
+	tbStop  = 0
+	tbDiag  = 1
+	tbFromE = 2 // H(i,j) == E(i,j): gap in the query ends here
+	tbFromF = 3 // H(i,j) == F(i,j): gap in the subject ends here
+	tbMask  = 3
+	tbEOpen = 4 // E(i,j) opened from H(i,j-1) (vs extending E(i,j-1))
+	tbFOpen = 8 // F(i,j) opened from H(i-1,j) (vs extending F(i-1,j))
+)
+
+// dpRow is one stored traceback row covering columns [lo, lo+len(cells)).
+type dpRow struct {
+	lo    int
+	cells []byte
+}
+
+// extendGapped aligns query against subj from their starts with affine gaps
+// and an X-drop live-window, NCBI ALIGN_EX style. It returns the best
+// prefix-path score and the ops of the path reaching it, in forward order
+// for the given slices (callers reverse them for the leftward direction).
+func extendGapped(query, subj []byte, m *matrix.Matrix, gaps matrix.GapPenalties, xdrop int, work *WorkCounters) gappedResult {
+	if len(query) == 0 || len(subj) == 0 {
+		return gappedResult{}
+	}
+	work.GappedExtensions++
+	gapOE := gaps.Open + gaps.Extend
+	gapE := gaps.Extend
+	n := len(subj)
+
+	// prevH/prevF are valid only within [prevLo, prevHi].
+	prevH := make([]int, n+1)
+	prevF := make([]int, n+1)
+	curH := make([]int, n+1)
+	curF := make([]int, n+1)
+	prevLo, prevHi := 0, 0
+
+	rows := make([]dpRow, 1, len(query)+1)
+	best, bestI, bestJ := 0, 0, 0
+
+	// Row 0: leading gap in the query.
+	prevH[0], prevF[0] = 0, negInf
+	row0 := []byte{tbStop}
+	for j := 1; j <= n; j++ {
+		h := -(gaps.Open + j*gapE)
+		if best-h > xdrop {
+			break
+		}
+		prevH[j] = h
+		prevF[j] = negInf
+		cell := byte(tbFromE)
+		if j == 1 {
+			cell |= tbEOpen
+		}
+		row0 = append(row0, cell)
+		prevHi = j
+	}
+	rows[0] = dpRow{lo: 0, cells: row0}
+
+	getPrevH := func(j int) int {
+		if j < prevLo || j > prevHi {
+			return negInf
+		}
+		return prevH[j]
+	}
+	getPrevF := func(j int) int {
+		if j < prevLo || j > prevHi {
+			return negInf
+		}
+		return prevF[j]
+	}
+
+	for i := 1; i <= len(query); i++ {
+		row := m.Row(query[i-1])
+		cells := make([]byte, 0, prevHi-prevLo+4)
+		// The leftmost possibly-live column this row: prevLo (via F) or
+		// prevLo+1 (via diag); include column 0 boundary only while it is
+		// reachable as a leading subject gap.
+		startJ := prevLo
+		newLo, newHi := -1, -1
+		e := negInf     // E(i, j) carried along the row
+		hLeft := negInf // H(i, j-1)
+		for j := startJ; j <= n; j++ {
+			var cell byte
+			// E(i,j) from the left neighbour.
+			if j > startJ {
+				eo := hLeft - gapOE
+				ee := e - gapE
+				if eo >= ee {
+					e = eo
+					cell |= tbEOpen
+				} else {
+					e = ee
+				}
+				if e < negInf/2 {
+					e = negInf
+				}
+			} else {
+				e = negInf
+			}
+			// F(i,j) from the row above.
+			fo := getPrevH(j) - gapOE
+			fe := getPrevF(j) - gapE
+			var f int
+			if fo >= fe {
+				f = fo
+				cell |= tbFOpen
+			} else {
+				f = fe
+			}
+			if f < negInf/2 {
+				f = negInf
+			}
+			// Diagonal. At j == 0 there is no diagonal predecessor; the
+			// column-0 boundary (leading subject gap) falls out of the F
+			// recurrence because H(i-1,0) and F(i-1,0) carry it.
+			d := negInf
+			if j >= 1 {
+				if ph := getPrevH(j - 1); ph > negInf/2 {
+					d = ph + int(row[subj[j-1]])
+				}
+			}
+			h := d
+			src := byte(tbDiag)
+			if e > h {
+				h = e
+				src = tbFromE
+			}
+			if f > h {
+				h = f
+				src = tbFromF
+			}
+			work.GappedCells++
+			if h <= negInf/2 || best-h > xdrop {
+				h = negInf
+				src = tbStop
+			} else {
+				if newLo < 0 {
+					newLo = j
+				}
+				newHi = j
+				if h > best {
+					best = h
+					bestI, bestJ = i, j
+				}
+			}
+			hLeft = h
+			curH[j] = h
+			curF[j] = f
+			cells = append(cells, cell|src)
+			// Stop scanning right once past the previous row's reach and
+			// nothing alive can propagate further along this row.
+			if j > prevHi && h == negInf && e == negInf {
+				break
+			}
+		}
+		if newLo < 0 {
+			break // the whole row fell below the X-drop line
+		}
+		rows = append(rows, dpRow{lo: startJ, cells: cells})
+		prevH, curH = curH, prevH
+		prevF, curF = curF, prevF
+		prevLo, prevHi = newLo, newHi
+	}
+
+	if best <= 0 {
+		return gappedResult{}
+	}
+	ops := walkTraceback(rows, bestI, bestJ, work)
+	return gappedResult{score: best, qEnd: bestI, sEnd: bestJ, ops: ops}
+}
+
+// walkTraceback follows the stored Gotoh decisions from (bi, bj) back to the
+// origin, emitting ops in reverse and then flipping them.
+func walkTraceback(rows []dpRow, bi, bj int, work *WorkCounters) []EditOp {
+	var rev []EditOp
+	i, j := bi, bj
+	const (
+		inH = iota
+		inE
+		inF
+	)
+	state := inH
+	for i > 0 || j > 0 {
+		if i < 0 || i >= len(rows) {
+			break
+		}
+		r := rows[i]
+		if j < r.lo || j-r.lo >= len(r.cells) {
+			break
+		}
+		cell := r.cells[j-r.lo]
+		work.TracebackCells++
+		switch state {
+		case inH:
+			switch cell & tbMask {
+			case tbDiag:
+				rev = append(rev, OpSub)
+				i--
+				j--
+			case tbFromE:
+				state = inE
+			case tbFromF:
+				state = inF
+			default: // tbStop
+				i, j = 0, 0
+			}
+		case inE:
+			// E(i,j) consumed subj[j-1]; predecessor is at (i, j-1).
+			rev = append(rev, OpIns)
+			if cell&tbEOpen != 0 {
+				state = inH
+			}
+			j--
+		case inF:
+			// F(i,j) consumed query[i-1]; predecessor is at (i-1, j).
+			rev = append(rev, OpDel)
+			if cell&tbFOpen != 0 {
+				state = inH
+			}
+			i--
+		}
+	}
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}
+
+// reverseBytes returns a reversed copy of b (used to run the leftward
+// gapped extension on reversed slices).
+func reverseBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		out[len(b)-1-i] = c
+	}
+	return out
+}
+
+// reverseOps reverses an op slice in place and returns it.
+func reverseOps(ops []EditOp) []EditOp {
+	for l, r := 0, len(ops)-1; l < r; l, r = l+1, r-1 {
+		ops[l], ops[r] = ops[r], ops[l]
+	}
+	return ops
+}

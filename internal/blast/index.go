@@ -1,0 +1,136 @@
+package blast
+
+import (
+	"fmt"
+
+	"parblast/internal/seq"
+)
+
+// wordIndex maps subject words to the query positions they seed.
+//
+// For protein, the table is dense over the 20^w strict-residue word space
+// and is populated with *neighbourhood* words: every word scoring ≥ T
+// against some query word registers that query position. For DNA the table
+// is a sparse map over exact 4^w words.
+type wordIndex struct {
+	alpha     *seq.Alphabet
+	w         int
+	strict    int
+	dense     [][]int32          // protein: wordID -> query positions
+	sparse    map[uint64][]int32 // DNA: wordID -> query positions
+	queryLen  int
+	neighbors int64 // total (word, position) registrations, for work accounting
+}
+
+// buildIndex constructs the lookup table for one query.
+func buildIndex(query []byte, o *Options) (*wordIndex, error) {
+	alpha := o.Matrix.Alphabet()
+	idx := &wordIndex{alpha: alpha, w: o.WordSize, strict: alpha.StrictSize(), queryLen: len(query)}
+	if len(query) < o.WordSize {
+		return idx, nil
+	}
+	if alpha.Kind() == seq.Protein {
+		size := 1
+		for i := 0; i < idx.w; i++ {
+			size *= idx.strict
+			if size > 1<<26 {
+				return nil, fmt.Errorf("blast: protein word table for w=%d too large", idx.w)
+			}
+		}
+		idx.dense = make([][]int32, size)
+		idx.buildProtein(query, o)
+	} else {
+		idx.sparse = make(map[uint64][]int32, len(query))
+		idx.buildDNA(query)
+	}
+	return idx, nil
+}
+
+// buildProtein registers neighbourhood words for every query word. The
+// recursion enumerates candidate words position by position, pruning with
+// the maximum achievable remaining score.
+func (idx *wordIndex) buildProtein(query []byte, o *Options) {
+	w := idx.w
+	m := o.Matrix
+	// rowMax[c] is the best score residue c can achieve against any strict
+	// residue: the pruning bound.
+	rowMax := make([]int, idx.strict)
+	for c := 0; c < idx.strict; c++ {
+		best := m.Score(byte(c), 0)
+		for d := 1; d < idx.strict; d++ {
+			if s := m.Score(byte(c), byte(d)); s > best {
+				best = s
+			}
+		}
+		rowMax[c] = best
+	}
+	word := make([]byte, w)
+	var rec func(qWord []byte, pos, wordID, score, maxRest int, qPos int32)
+	rec = func(qWord []byte, pos, wordID, score, maxRest int, qPos int32) {
+		if pos == w {
+			if score >= o.Threshold {
+				idx.dense[wordID] = append(idx.dense[wordID], qPos)
+				idx.neighbors++
+			}
+			return
+		}
+		rest := maxRest - rowMax[qWord[pos]]
+		row := m.Row(qWord[pos])
+		for c := 0; c < idx.strict; c++ {
+			s := int(row[c])
+			if score+s+rest < o.Threshold {
+				continue
+			}
+			word[pos] = byte(c)
+			rec(qWord, pos+1, wordID*idx.strict+c, score+s, rest, qPos)
+		}
+	}
+	for i := 0; i+w <= len(query); i++ {
+		qWord := query[i : i+w]
+		ok := true
+		maxTotal := 0
+		for _, c := range qWord {
+			if int(c) >= idx.strict {
+				ok = false
+				break
+			}
+			maxTotal += rowMax[c]
+		}
+		if !ok || maxTotal < o.Threshold {
+			continue
+		}
+		rec(qWord, 0, 0, 0, maxTotal, int32(i))
+	}
+}
+
+// buildDNA registers exact query words with a rolling word ID.
+func (idx *wordIndex) buildDNA(query []byte) {
+	w := idx.w
+	var id uint64
+	mask := uint64(1)
+	for i := 0; i < w; i++ {
+		mask *= uint64(idx.strict)
+	}
+	valid := 0 // length of current run of strict residues
+	for i := 0; i < len(query); i++ {
+		c := query[i]
+		if int(c) >= idx.strict {
+			valid = 0
+			id = 0
+			continue
+		}
+		id = (id*uint64(idx.strict) + uint64(c)) % mask
+		valid++
+		if valid >= w {
+			start := int32(i - w + 1)
+			idx.sparse[id] = append(idx.sparse[id], start)
+			idx.neighbors++
+		}
+	}
+}
+
+// lookup returns the query positions seeded by the subject word ending logic
+// of scanSubject; nil when none.
+func (idx *wordIndex) lookupDense(wordID int) []int32 { return idx.dense[wordID] }
+
+func (idx *wordIndex) lookupSparse(wordID uint64) []int32 { return idx.sparse[wordID] }

@@ -1,0 +1,217 @@
+package blast
+
+import (
+	"fmt"
+	"strings"
+
+	"parblast/internal/matrix"
+	"parblast/internal/seq"
+	"parblast/internal/stats"
+)
+
+// Report formatting mimics the classic NCBI BLAST pairwise text output.
+// The format is split into independently renderable pieces because the
+// parallel engines divide the work: in pioBLAST the master renders the
+// per-query header, one-line summaries, and footer, while the workers render
+// the per-subject alignment blocks whose byte sizes drive the collective
+// write offsets.
+
+// DBInfo describes the database for report headers.
+type DBInfo struct {
+	Title    string
+	NumSeqs  int
+	TotalLen int64
+}
+
+// ReportVersion appears in the report banner; fixed so output is
+// byte-reproducible.
+const ReportVersion = "PARBLAST 1.0.0"
+
+// programName picks the banner program from the alphabet kind.
+func programName(k seq.Kind) string {
+	if k == seq.DNA {
+		return "BLASTN"
+	}
+	return "BLASTP"
+}
+
+// FormatHeader renders the per-query report header.
+func FormatHeader(kind seq.Kind, query *seq.Sequence, db DBInfo) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s\n\n\n", programName(kind), ReportVersion)
+	fmt.Fprintf(&b, "Query= %s\n", query.Defline())
+	fmt.Fprintf(&b, "         (%d letters)\n\n", query.Len())
+	fmt.Fprintf(&b, "Database: %s\n", db.Title)
+	fmt.Fprintf(&b, "           %s sequences; %s total letters\n\n",
+		comma(int64(db.NumSeqs)), comma(db.TotalLen))
+	return b.String()
+}
+
+// FormatSummary renders the "Sequences producing significant alignments"
+// table from hit metadata only (no residue data needed).
+func FormatSummary(hits []*SubjectResult) string {
+	var b strings.Builder
+	if len(hits) == 0 {
+		b.WriteString(" ***** No hits found ******\n\n")
+		return b.String()
+	}
+	b.WriteString("                                                                 Score    E\n")
+	b.WriteString("Sequences producing significant alignments:                      (bits) Value\n\n")
+	for _, h := range hits {
+		name := h.ID
+		if h.Defline != "" {
+			name += " " + h.Defline
+		}
+		if len(name) > 63 {
+			name = name[:63]
+		}
+		fmt.Fprintf(&b, "%-63s  %6.0f  %s\n", name, h.BestBitScore(), stats.FormatEValue(h.BestEValue()))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// FormatHit renders the full alignment block for one subject: defline,
+// length, and every HSP's score lines and 60-column alignment panels.
+// The query and the subject residues must be in the matrix's alphabet.
+func FormatHit(query *seq.Sequence, subjResidues []byte, r *SubjectResult, m *matrix.Matrix) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ">%s", r.ID)
+	if r.Defline != "" {
+		fmt.Fprintf(&b, " %s", r.Defline)
+	}
+	fmt.Fprintf(&b, "\n          Length = %d\n\n", r.SubjLen)
+	for _, h := range r.HSPs {
+		formatHSP(&b, query, subjResidues, h, m)
+	}
+	return b.String()
+}
+
+func formatHSP(b *strings.Builder, query *seq.Sequence, subj []byte, h *HSP, m *matrix.Matrix) {
+	ident, positive, gaps := h.Identity(query.Residues, subj, m)
+	alen := h.AlignLen()
+	fmt.Fprintf(b, " Score = %.1f bits (%d), Expect = %s\n", h.BitScore, h.Score, stats.FormatEValue(h.EValue))
+	fmt.Fprintf(b, " Identities = %d/%d (%d%%)", ident, alen, pct(ident, alen))
+	if m.Alphabet().Kind() == seq.Protein {
+		fmt.Fprintf(b, ", Positives = %d/%d (%d%%)", positive, alen, pct(positive, alen))
+	}
+	if gaps > 0 {
+		fmt.Fprintf(b, ", Gaps = %d/%d (%d%%)", gaps, alen, pct(gaps, alen))
+	}
+	b.WriteString("\n\n")
+
+	alpha := m.Alphabet()
+	qLine := make([]byte, 0, alen)
+	mLine := make([]byte, 0, alen)
+	sLine := make([]byte, 0, alen)
+	q, s := h.QueryFrom, h.SubjFrom
+	for _, op := range h.Trace {
+		switch op {
+		case OpSub:
+			qc, sc := query.Residues[q], subj[s]
+			qLine = append(qLine, alpha.Letter(qc))
+			sLine = append(sLine, alpha.Letter(sc))
+			switch {
+			case qc == sc:
+				if alpha.Kind() == seq.Protein {
+					mLine = append(mLine, alpha.Letter(qc))
+				} else {
+					mLine = append(mLine, '|')
+				}
+			case m.Score(qc, sc) > 0:
+				mLine = append(mLine, '+')
+			default:
+				mLine = append(mLine, ' ')
+			}
+			q++
+			s++
+		case OpIns:
+			qLine = append(qLine, '-')
+			mLine = append(mLine, ' ')
+			sLine = append(sLine, alpha.Letter(subj[s]))
+			s++
+		case OpDel:
+			qLine = append(qLine, alpha.Letter(query.Residues[q]))
+			mLine = append(mLine, ' ')
+			sLine = append(sLine, '-')
+			q++
+		}
+	}
+
+	const width = 60
+	qPos, sPos := h.QueryFrom, h.SubjFrom
+	for off := 0; off < alen; off += width {
+		end := off + width
+		if end > alen {
+			end = alen
+		}
+		qChunk, mChunk, sChunk := qLine[off:end], mLine[off:end], sLine[off:end]
+		qConsumed := countConsumed(qChunk)
+		sConsumed := countConsumed(sChunk)
+		qStart, sStart := qPos+1, sPos+1
+		if qConsumed == 0 {
+			qStart = qPos // all-gap line: NCBI prints the previous position
+		}
+		if sConsumed == 0 {
+			sStart = sPos
+		}
+		fmt.Fprintf(b, "Query: %-5d %s %d\n", qStart, qChunk, qPos+qConsumed)
+		fmt.Fprintf(b, "             %s\n", mChunk)
+		fmt.Fprintf(b, "Sbjct: %-5d %s %d\n\n", sStart, sChunk, sPos+sConsumed)
+		qPos += qConsumed
+		sPos += sConsumed
+	}
+}
+
+func countConsumed(line []byte) int {
+	n := 0
+	for _, c := range line {
+		if c != '-' {
+			n++
+		}
+	}
+	return n
+}
+
+// FormatFooter renders the per-query statistics trailer.
+func FormatFooter(p stats.Params, space stats.SearchSpace, work WorkCounters) string {
+	var b strings.Builder
+	b.WriteString("\nLambda     K      H\n")
+	fmt.Fprintf(&b, " %7.3f %7.3f %7.3f\n\n", p.Lambda, p.K, p.H)
+	fmt.Fprintf(&b, "Effective length of query: %d\n", space.EffQueryLen)
+	fmt.Fprintf(&b, "Effective length of database: %d\n", space.EffDBLen)
+	fmt.Fprintf(&b, "Effective search space: %d\n", int64(space.EffQueryLen)*space.EffDBLen)
+	fmt.Fprintf(&b, "Number of sequences in database: %d\n", space.DBSeqs)
+	fmt.Fprintf(&b, "Number of extensions: %d\n", work.UngappedExtensions)
+	fmt.Fprintf(&b, "Number of successful extensions: %d\n", work.GappedExtensions)
+	fmt.Fprintf(&b, "Number of HSPs reported: %d\n\n\n", work.HSPsFound)
+	return b.String()
+}
+
+func pct(n, d int) int {
+	if d == 0 {
+		return 0
+	}
+	return int(float64(n)/float64(d)*100 + 0.5)
+}
+
+// comma renders an integer with thousands separators, as NCBI headers do.
+func comma(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}

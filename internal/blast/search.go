@@ -1,0 +1,340 @@
+package blast
+
+import (
+	"fmt"
+	"math"
+
+	"parblast/internal/seq"
+	"parblast/internal/stats"
+)
+
+// Searcher holds the immutable configuration of a search: options plus the
+// raw-score conversions of the bit-valued heuristics. Searchers are safe to
+// share; per-goroutine scratch state lives in Context.
+type Searcher struct {
+	opts Options
+	up   stats.Params // ungapped Karlin–Altschul parameters
+	gp   stats.Params // gapped parameters (final statistics)
+
+	xdropUngapped int // raw scores
+	xdropGapped   int
+	xdropFinal    int
+	gapTrigger    int
+}
+
+// NewSearcher validates options and prepares a Searcher.
+func NewSearcher(opts Options) (*Searcher, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxTargetSeqs == 0 {
+		opts.MaxTargetSeqs = 500
+	}
+	if opts.MaxHSPsPerSubject == 0 {
+		opts.MaxHSPsPerSubject = 25
+	}
+	s := &Searcher{opts: opts, up: opts.ungappedParams(), gp: opts.gappedParams()}
+	bitsToRaw := func(bits float64, p stats.Params) int {
+		r := int(math.Ceil(bits * math.Ln2 / p.Lambda))
+		if r < 1 {
+			r = 1
+		}
+		return r
+	}
+	s.xdropUngapped = bitsToRaw(opts.XDropUngapped, s.up)
+	s.xdropGapped = bitsToRaw(opts.XDropGapped, s.gp)
+	s.xdropFinal = bitsToRaw(opts.XDropFinal, s.gp)
+	s.gapTrigger = bitsToRaw(opts.GapTriggerBits, s.up)
+	return s, nil
+}
+
+// Options returns a copy of the searcher's configuration.
+func (s *Searcher) Options() Options { return s.opts }
+
+// GappedParams exposes the statistics used for final scores.
+func (s *Searcher) GappedParams() stats.Params { return s.gp }
+
+// Context carries the per-query word index and reusable scratch buffers.
+// A Context belongs to one goroutine.
+type Context struct {
+	s     *Searcher
+	query *seq.Sequence
+	idx   *wordIndex
+
+	// Diagonal bookkeeping, epoch-stamped so it needs no clearing between
+	// subjects. Index: (sPos - qPos) + queryLen.
+	lastHit  []int32
+	extLevel []int32
+	stamp    []int32
+	epoch    int32
+
+	// buildWork tallies index construction, charged once per query.
+	buildWork WorkCounters
+}
+
+// NewContext creates scratch state for one goroutine.
+func (s *Searcher) NewContext() *Context {
+	return &Context{s: s}
+}
+
+// SetQuery builds the word lookup table for the query. It must be called
+// before SearchFragment and may be called repeatedly to reuse the context.
+func (c *Context) SetQuery(q *seq.Sequence) error {
+	if q.Alpha != c.s.opts.Matrix.Alphabet() {
+		return fmt.Errorf("blast: query %q alphabet %s does not match matrix %s",
+			q.ID, q.Alpha.Kind(), c.s.opts.Matrix.Name())
+	}
+	seeding := q.Residues
+	if c.s.opts.FilterLowComplexity {
+		seeding, _ = MaskForSeeding(q.Residues, q.Alpha, DefaultFilterParams(q.Alpha.Kind()))
+	}
+	idx, err := buildIndex(seeding, &c.s.opts)
+	if err != nil {
+		return err
+	}
+	c.query = q
+	c.idx = idx
+	c.buildWork = WorkCounters{ResiduesScanned: int64(q.Len()), IndexWords: idx.neighbors}
+	return nil
+}
+
+// Query returns the query currently loaded in the context.
+func (c *Context) Query() *seq.Sequence { return c.query }
+
+func (c *Context) ensureDiag(n int) {
+	if len(c.stamp) < n {
+		c.lastHit = make([]int32, n)
+		c.extLevel = make([]int32, n)
+		c.stamp = make([]int32, n)
+		c.epoch = 0
+	}
+	c.epoch++
+	if c.epoch == math.MaxInt32 {
+		for i := range c.stamp {
+			c.stamp[i] = 0
+		}
+		c.epoch = 1
+	}
+}
+
+// SearchFragment runs the loaded query against every subject in the
+// fragment. The search space must describe the WHOLE database (not the
+// fragment) so that scores and E-values are identical no matter how the
+// database is partitioned — the property the parallel engines' merging
+// relies on.
+func (c *Context) SearchFragment(frag *Fragment, space stats.SearchSpace) (*QueryResult, error) {
+	if c.query == nil {
+		return nil, fmt.Errorf("blast: SearchFragment before SetQuery")
+	}
+	res := &QueryResult{QueryID: c.query.ID}
+	res.Work.Add(c.buildWork)
+	cutoffRaw := c.s.gp.ScoreForEValue(c.s.opts.EValue, space)
+	for i := range frag.Subjects {
+		sub := &frag.Subjects[i]
+		hsps := c.searchSubject(sub.Residues, cutoffRaw, &res.Work)
+		if len(hsps) == 0 {
+			continue
+		}
+		for _, h := range hsps {
+			h.BitScore = c.s.gp.BitScore(h.Score)
+			h.EValue = c.s.gp.EValue(h.Score, space)
+		}
+		res.Work.HSPsFound += int64(len(hsps))
+		SortHSPs(hsps)
+		if len(hsps) > c.s.opts.MaxHSPsPerSubject {
+			hsps = hsps[:c.s.opts.MaxHSPsPerSubject]
+		}
+		res.Hits = append(res.Hits, &SubjectResult{
+			OID:     sub.OID,
+			ID:      sub.ID,
+			Defline: sub.Defline,
+			SubjLen: len(sub.Residues),
+			HSPs:    hsps,
+		})
+	}
+	SortHits(res.Hits)
+	if len(res.Hits) > c.s.opts.MaxTargetSeqs {
+		res.Hits = res.Hits[:c.s.opts.MaxTargetSeqs]
+	}
+	return res, nil
+}
+
+// searchSubject scans one subject for seeds and extends them.
+func (c *Context) searchSubject(subj []byte, cutoffRaw int, work *WorkCounters) []*HSP {
+	query := c.query.Residues
+	w := c.s.opts.WordSize
+	if len(subj) < w || len(query) < w {
+		work.ResiduesScanned += int64(len(subj))
+		return nil
+	}
+	c.ensureDiag(len(query) + len(subj) + 1)
+	work.ResiduesScanned += int64(len(subj))
+
+	var hsps []*HSP
+	// boxes of already-found gapped HSPs, for seed containment skipping.
+	type box struct{ q0, q1, s0, s1 int }
+	var boxes []box
+
+	handleHit := func(qPos, sPos int) {
+		work.SeedHits++
+		d := sPos - qPos + len(query)
+		if c.stamp[d] != c.epoch {
+			c.stamp[d] = c.epoch
+			c.lastHit[d] = int32(-1 << 30)
+			c.extLevel[d] = 0
+		}
+		if int32(sPos) < c.extLevel[d] {
+			return // inside a region already covered by an extension
+		}
+		if c.s.opts.TwoHitWindow > 0 {
+			gap := sPos - int(c.lastHit[d])
+			if gap > c.s.opts.TwoHitWindow {
+				// First hit on this diagonal (or the previous one is out of
+				// range): remember it and wait for a second hit.
+				c.lastHit[d] = int32(sPos)
+				return
+			}
+			if gap < w {
+				// Overlaps the remembered hit. Do NOT overwrite it —
+				// otherwise densely spaced hits (as in near-identical
+				// regions) would keep resetting the window and never
+				// qualify. This mirrors the NCBI diagonal array.
+				return
+			}
+			c.lastHit[d] = int32(sPos)
+		}
+		seg := extendUngapped(query, subj, qPos, sPos, c.s.opts.Matrix, c.s.xdropUngapped, work)
+		c.extLevel[d] = int32(seg.sTo)
+		if seg.score >= c.s.gapTrigger {
+			// Skip if the seed midpoint is inside an HSP we already have.
+			for _, b := range boxes {
+				if seg.seedQ >= b.q0 && seg.seedQ < b.q1 && seg.seedS >= b.s0 && seg.seedS < b.s1 {
+					return
+				}
+			}
+			h := c.gappedFromSeed(query, subj, seg.seedQ, seg.seedS, work)
+			if h != nil && h.Score >= cutoffRaw {
+				hsps = append(hsps, h)
+				boxes = append(boxes, box{h.QueryFrom, h.QueryTo, h.SubjFrom, h.SubjTo})
+			}
+		} else if seg.score >= cutoffRaw {
+			// Significant without gaps: keep as an ungapped HSP.
+			h := &HSP{
+				QueryFrom: seg.qFrom, QueryTo: seg.qTo,
+				SubjFrom: seg.sFrom, SubjTo: seg.sTo,
+				Score: seg.score,
+				Trace: make([]EditOp, seg.qTo-seg.qFrom),
+			}
+			hsps = append(hsps, h)
+		}
+	}
+
+	if c.idx.dense != nil {
+		strict := c.idx.strict
+		// Rolling dense word ID over strict residues.
+		valid := 0
+		id := 0
+		hi := 1
+		for i := 1; i < w; i++ {
+			hi *= strict
+		}
+		for j := 0; j < len(subj); j++ {
+			cdb := subj[j]
+			if int(cdb) >= strict {
+				valid, id = 0, 0
+				continue
+			}
+			id = id%hi*strict + int(cdb)
+			valid++
+			if valid < w {
+				continue
+			}
+			start := j - w + 1
+			for _, qPos := range c.idx.dense[id] {
+				handleHit(int(qPos), start)
+			}
+		}
+	} else {
+		strict := uint64(c.idx.strict)
+		mod := uint64(1)
+		for i := 0; i < w; i++ {
+			mod *= strict
+		}
+		valid := 0
+		var id uint64
+		for j := 0; j < len(subj); j++ {
+			cdb := subj[j]
+			if int(cdb) >= c.idx.strict {
+				valid, id = 0, 0
+				continue
+			}
+			id = (id*strict + uint64(cdb)) % mod
+			valid++
+			if valid < w {
+				continue
+			}
+			start := j - w + 1
+			for _, qPos := range c.idx.sparse[id] {
+				handleHit(int(qPos), start)
+			}
+		}
+	}
+
+	return cullContained(hsps)
+}
+
+// gappedFromSeed runs the two-directional gapped extension around a seed
+// point and assembles the combined HSP.
+func (c *Context) gappedFromSeed(query, subj []byte, seedQ, seedS int, work *WorkCounters) *HSP {
+	right := extendGapped(query[seedQ:], subj[seedS:], c.s.opts.Matrix, c.s.opts.Gaps, c.s.xdropGapped, work)
+	left := extendGapped(reverseBytes(query[:seedQ]), reverseBytes(subj[:seedS]), c.s.opts.Matrix, c.s.opts.Gaps, c.s.xdropGapped, work)
+	score := left.score + right.score
+	if score <= 0 {
+		return nil
+	}
+	ops := make([]EditOp, 0, len(left.ops)+len(right.ops))
+	ops = append(ops, reverseOps(left.ops)...)
+	ops = append(ops, right.ops...)
+	// If the two half-extensions both open a gap of the same kind at the
+	// seed boundary, the concatenated trace is one merged run but both
+	// halves charged a gap-open; refund the double-counted open so the
+	// score matches the trace exactly.
+	if len(left.ops) > 0 && len(right.ops) > 0 {
+		l, r := ops[len(left.ops)-1], ops[len(left.ops)]
+		if l == r && l != OpSub {
+			score += c.s.opts.Gaps.Open
+		}
+	}
+	return &HSP{
+		QueryFrom: seedQ - left.qEnd,
+		QueryTo:   seedQ + right.qEnd,
+		SubjFrom:  seedS - left.sEnd,
+		SubjTo:    seedS + right.sEnd,
+		Score:     score,
+		Trace:     ops,
+	}
+}
+
+// cullContained removes duplicate HSPs and HSPs whose query AND subject
+// ranges are both contained in a higher-scoring HSP.
+func cullContained(hsps []*HSP) []*HSP {
+	if len(hsps) <= 1 {
+		return hsps
+	}
+	SortHSPs(hsps)
+	kept := hsps[:0]
+	for _, h := range hsps {
+		contained := false
+		for _, k := range kept {
+			if h.QueryFrom >= k.QueryFrom && h.QueryTo <= k.QueryTo &&
+				h.SubjFrom >= k.SubjFrom && h.SubjTo <= k.SubjTo {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			kept = append(kept, h)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,744 @@
+// Package core implements pioBLAST — the paper's contribution: parallel
+// BLAST with efficient data access.
+//
+// Compared to the mpiblast baseline it changes exactly the four things the
+// paper's §3 describes:
+//
+//  1. Direct global database access with DYNAMIC (virtual) partitioning:
+//     no physical fragments, no copy stage. The master computes
+//     (start offset, end offset) ranges from the global index files and
+//     distributes them; each worker reads its contiguous ranges of the
+//     shared sequence/header/index files in parallel with MPI-IO-style
+//     independent reads, straight into memory buffers that the (slightly
+//     modified) search kernel consumes.
+//  2. Result caching: workers keep every candidate hit — alignment and
+//     subject data — in memory as it is discovered, and render the
+//     formatted output block of each candidate locally, so the block's
+//     bytes and, crucially, its SIZE are known without master involvement.
+//  3. Metadata-only merging: workers submit only identifications, scores,
+//     and output sizes. The master merges, selects the global winners, and
+//     tells each worker WHICH of its hits qualified — the alignment data
+//     never makes a round trip through the master.
+//  4. Parallel output: because every record's size is known, the master
+//     computes each record's byte range in the single shared output file;
+//     workers install file views over those ranges and write their cached
+//     blocks with collective (two-phase) writes, while the master
+//     contributes the header, summary, and statistics trailer through its
+//     own view.
+//
+// The engine runs in two phases, like the baseline: every worker first
+// searches all queries against its virtual fragments, then the ranks run
+// the per-query merge/output protocol. The §5 future-work extensions are
+// implemented behind Options:
+//
+//   - EarlyPrune: early score communication — a global score threshold is
+//     agreed before rendering, so hopeless candidates are dropped at the
+//     workers;
+//   - DynamicAssignment: virtual fragments are assigned greedily at run
+//     time instead of statically, the load-balancing scheme §5 sketches
+//     for heterogeneous nodes or skewed searches;
+//   - QueryBatch: several queries share one collective write, the
+//     batching §5 proposes for large result volumes;
+//   - IndependentOutput: the collective write is replaced by per-rank
+//     strided writes (ablation for §3.3).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"parblast/internal/blast"
+	"parblast/internal/engine"
+	"parblast/internal/formatdb"
+	"parblast/internal/mpi"
+	"parblast/internal/mpiio"
+	"parblast/internal/seq"
+	"parblast/internal/simtime"
+	"parblast/internal/vfs"
+)
+
+// Message tags (distinct from the baseline's, below the mpiio space).
+const (
+	tagResults    = 11
+	tagSelect     = 12
+	tagPartReq    = 13
+	tagPartAssign = 14
+)
+
+// Options selects pioBLAST variants.
+type Options struct {
+	// EarlyPrune enables §5's "early score communication": before
+	// rendering a query's blocks, ranks exchange their top scores,
+	// compute the global MaxTargetSeqs-th best score, and skip hits that
+	// cannot reach the global output. Output is unchanged; work shrinks.
+	EarlyPrune bool
+	// IndependentOutput replaces the collective write with per-rank
+	// independent strided writes — the ablation showing why §3.3 uses
+	// collective I/O.
+	IndependentOutput bool
+	// DynamicAssignment assigns virtual fragments to workers greedily at
+	// run time (workers ask the master for the next unsearched fragment)
+	// instead of statically. With Fragments > workers this implements the
+	// §5 load-balancing scheme for heterogeneous nodes.
+	DynamicAssignment bool
+	// QueryBatch groups this many queries into one collective write
+	// (0 or 1 = per-query output, the default). §5's query batching.
+	QueryBatch int
+	// MemoryBudgetBytes, when positive, enables ADAPTIVE batching (§5's
+	// "adjust to the amount of available memory"): after the search phase
+	// the ranks exchange per-query cached-output volumes and every rank
+	// derives the same batch boundaries, packing as many queries per
+	// collective write as fit the budget. Overrides QueryBatch.
+	MemoryBudgetBytes int64
+	// NodeSpeeds optionally declares per-rank compute-speed factors
+	// (1 = baseline, 2 = twice as slow), modelling heterogeneous nodes.
+	NodeSpeeds []float64
+}
+
+// wireExtent ships one virtual-fragment extent to a worker: the ordinal
+// range plus every byte range needed to read it from the shared files.
+type wireExtent struct {
+	VolBase     string
+	From, To    int
+	OIDFrom     int
+	HdrOff      int64
+	HdrLen      int64
+	SeqOff      int64
+	SeqLen      int64
+	HdrArrayPos int64 // file position in .pin of hdrOffsets[From]
+	SeqArrayPos int64 // file position in .pin of seqOffsets[From]
+}
+
+// jobMeta is the broadcast that seeds every worker.
+type jobMeta struct {
+	Queries  engine.WireQueries
+	Title    string
+	Kind     seq.Kind
+	NumSeqs  int
+	TotalLen int64
+	// Parts lists every virtual fragment's extents. With static
+	// assignment, part p belongs to worker (p mod workers)+1; with
+	// dynamic assignment, parts are handed out greedily at run time.
+	Parts       [][]wireExtent
+	OutputPath  string
+	EarlyPrune  bool
+	Independent bool
+	Dynamic     bool
+	QueryBatch  int
+	MemBudget   int64
+}
+
+// batchMetas is one worker's result metadata for a batch of queries.
+type batchMetas struct {
+	FirstQuery int
+	PerQuery   []engine.QueryMeta
+}
+
+func (b *batchMetas) encode() []byte {
+	var w engine.Writer
+	w.Int(int64(b.FirstQuery))
+	w.Uint(uint64(len(b.PerQuery)))
+	for _, qm := range b.PerQuery {
+		engine.EncodeQueryMeta(&w, qm)
+	}
+	return w.Bytes()
+}
+
+func decodeBatchMetas(data []byte) (batchMetas, error) {
+	r := engine.NewReader(data)
+	b := batchMetas{FirstQuery: int(r.Int())}
+	n := int(r.Uint())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		b.PerQuery = append(b.PerQuery, engine.DecodeQueryMeta(r))
+	}
+	return b, r.Err()
+}
+
+// selection tells a worker where its chosen blocks land in the output file.
+type selection struct {
+	Queries []int
+	OIDs    []int
+	Offsets []int64
+	Lengths []int64
+}
+
+func (s *selection) encode() []byte {
+	var w engine.Writer
+	w.Uint(uint64(len(s.OIDs)))
+	for i := range s.OIDs {
+		w.Int(int64(s.Queries[i]))
+		w.Int(int64(s.OIDs[i]))
+		w.Int(s.Offsets[i])
+		w.Int(s.Lengths[i])
+	}
+	return w.Bytes()
+}
+
+func decodeSelection(data []byte) (selection, error) {
+	r := engine.NewReader(data)
+	n := int(r.Uint())
+	var s selection
+	for i := 0; i < n && r.Err() == nil; i++ {
+		s.Queries = append(s.Queries, int(r.Int()))
+		s.OIDs = append(s.OIDs, int(r.Int()))
+		s.Offsets = append(s.Offsets, r.Int())
+		s.Lengths = append(s.Lengths, r.Int())
+	}
+	return s, r.Err()
+}
+
+// Run executes pioBLAST on nprocs ranks (rank 0 master, workers 1..n-1).
+// The database is the ONE global formatted database — no fragments needed.
+func Run(nodes []*vfs.Node, nprocs int, cost simtime.CostModel, job *engine.Job, opts Options) (engine.RunResult, error) {
+	return RunConfig(nodes, nprocs, mpi.Config{Cost: cost, Speeds: opts.NodeSpeeds}, job, opts)
+}
+
+// RunConfig is Run with an explicit MPI configuration (heterogeneity).
+func RunConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, opts Options) (engine.RunResult, error) {
+	if err := job.Validate(); err != nil {
+		return engine.RunResult{}, err
+	}
+	if nprocs < 2 {
+		return engine.RunResult{}, fmt.Errorf("core: need ≥2 ranks (1 master + workers), got %d", nprocs)
+	}
+	if len(nodes) < nprocs {
+		return engine.RunResult{}, fmt.Errorf("core: %d nodes for %d ranks", len(nodes), nprocs)
+	}
+	if opts.QueryBatch < 0 {
+		return engine.RunResult{}, fmt.Errorf("core: negative query batch %d", opts.QueryBatch)
+	}
+	shared := nodes[0].Shared
+	db, err := formatdb.Open(shared, job.DBBase)
+	if err != nil {
+		return engine.RunResult{}, err
+	}
+	workers := nprocs - 1
+	nParts := job.Fragments
+	if nParts == 0 {
+		nParts = workers // natural partitioning
+	}
+	parts, err := db.Partition(nParts)
+	if err != nil {
+		return engine.RunResult{}, err
+	}
+	wireParts := make([][]wireExtent, len(parts))
+	for pi, p := range parts {
+		for _, e := range p.Extents {
+			v := &db.Volumes[e.Volume]
+			wireParts[pi] = append(wireParts[pi], wireExtent{
+				VolBase:     v.Base,
+				From:        e.From,
+				To:          e.To,
+				OIDFrom:     e.OIDFrom,
+				HdrOff:      e.HdrOff,
+				HdrLen:      e.HdrLen,
+				SeqOff:      e.SeqOff,
+				SeqLen:      e.SeqLen,
+				HdrArrayPos: v.HdrOffsetArrayPos(e.From),
+				SeqArrayPos: v.SeqOffsetArrayPos(e.From),
+			})
+		}
+	}
+	batch := opts.QueryBatch
+	if batch < 1 {
+		batch = 1
+	}
+	meta := jobMeta{
+		Queries:     engine.PackQueries(job.Queries),
+		Title:       db.Title,
+		Kind:        db.Kind,
+		NumSeqs:     db.NumSeqs,
+		TotalLen:    db.TotalResidues,
+		Parts:       wireParts,
+		OutputPath:  job.OutputPath,
+		EarlyPrune:  opts.EarlyPrune,
+		Independent: opts.IndependentOutput,
+		Dynamic:     opts.DynamicAssignment,
+		QueryBatch:  batch,
+		MemBudget:   opts.MemoryBudgetBytes,
+	}
+	// The master reads the (small) index files to compute the partition.
+	var indexBytes int64
+	for _, v := range db.Volumes {
+		if f, err := shared.Open(formatdb.IndexPath(v.Base)); err == nil {
+			indexBytes += f.Size()
+		}
+	}
+
+	if cfg.Comm == nil {
+		cfg.Comm = mpi.NewCommStats(nprocs)
+	}
+	clocks, err := mpi.RunConfig(nprocs, cfg, func(r *mpi.Rank) error {
+		if r.ID() == 0 {
+			return runMaster(r, nodes[0], job, meta, indexBytes)
+		}
+		return runWorker(r, nodes[r.ID()], job.Options)
+	})
+	if err != nil {
+		return engine.RunResult{}, err
+	}
+	var outBytes int64
+	if f, err := shared.Open(job.OutputPath); err == nil {
+		outBytes = f.Size()
+	}
+	res := engine.Summarize(clocks, outBytes)
+	res.CommBytes, res.ShuffleBytes, res.CommMessages = cfg.Comm.Totals()
+	return res, nil
+}
+
+// runBatches drives fn over the half-open ranges defined by boundary list
+// bounds (bounds[i] .. bounds[i+1]).
+func runBatches(bounds []int, fn func(int, int) error) error {
+	for i := 0; i+1 < len(bounds); i++ {
+		if err := fn(bounds[i], bounds[i+1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// adaptiveBounds packs queries into batches whose summed cached-output
+// volume stays within the budget (every batch holds at least one query).
+// All ranks compute this from identical global volumes, so the boundaries
+// agree everywhere.
+func adaptiveBounds(volumes []int64, budget int64) []int {
+	bounds := []int{0}
+	var acc int64
+	for q := range volumes {
+		if q > bounds[len(bounds)-1] && acc+volumes[q] > budget {
+			bounds = append(bounds, q)
+			acc = 0
+		}
+		acc += volumes[q]
+	}
+	return append(bounds, len(volumes))
+}
+
+// exchangeVolumes AllGathers each rank's per-query cached-output volume
+// estimates and returns the global per-query totals — the consensus input
+// to adaptive batching. The master participates with zeros.
+func exchangeVolumes(r *mpi.Rank, local []int64) []int64 {
+	var w engine.Writer
+	for _, v := range local {
+		w.Int(v)
+	}
+	all := r.AllGather(w.Bytes())
+	total := make([]int64, len(local))
+	for _, data := range all {
+		rd := engine.NewReader(data)
+		for q := range total {
+			total[q] += rd.Int()
+		}
+		if rd.Err() != nil {
+			break
+		}
+	}
+	return total
+}
+
+func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, indexBytes int64) error {
+	r.SetPhase(simtime.PhaseOther)
+	r.Advance(r.Cost().SetupCost)
+	r.SetPhase(simtime.PhaseInput)
+	r.IO(node.Shared, indexBytes) // read the global index files for partitioning
+	r.SetPhase(simtime.PhaseOther)
+	r.Bcast(0, engine.EncodeGob(meta))
+
+	workers := r.Size() - 1
+	if meta.Dynamic {
+		// Greedy run-time assignment of virtual fragments (§5): serve
+		// part requests until every worker has been told "done".
+		r.SetPhase(simtime.PhaseIdle)
+		next := 0
+		done := 0
+		for done < workers {
+			_, from, _ := r.Recv(mpi.AnySource, tagPartReq)
+			if next < len(meta.Parts) {
+				r.Send(from, tagPartAssign, engine.EncodeInt(next))
+				next++
+			} else {
+				r.Send(from, tagPartAssign, engine.EncodeInt(-1))
+				done++
+			}
+		}
+	}
+
+	searcher, err := blast.NewSearcher(job.Options)
+	if err != nil {
+		return err
+	}
+	maxTargets := searcher.Options().MaxTargetSeqs
+	out := mpiio.OpenOrCreate(r, node.Shared, job.OutputPath)
+	dbInfo := blast.DBInfo{Title: meta.Title, NumSeqs: meta.NumSeqs, TotalLen: meta.TotalLen}
+
+	bounds := fixedBounds(len(job.Queries), meta.QueryBatch)
+	if meta.MemBudget > 0 {
+		r.SetPhase(simtime.PhaseIdle)
+		volumes := exchangeVolumes(r, make([]int64, len(job.Queries)))
+		bounds = adaptiveBounds(volumes, meta.MemBudget)
+	}
+	var off int64
+	err = runBatches(bounds, func(q0, q1 int) error {
+		// While the workers finish this batch, the master is parked.
+		r.SetPhase(simtime.PhaseIdle)
+		if meta.EarlyPrune {
+			for q := q0; q < q1; q++ {
+				exchangeThreshold(r, nil, maxTargets) // participate, contribute nothing
+			}
+		}
+		perWorker := make([]batchMetas, workers+1)
+		for w := 1; w <= workers; w++ {
+			data, _, _ := r.Recv(w, tagResults)
+			bm, err := decodeBatchMetas(data)
+			if err != nil {
+				return err
+			}
+			perWorker[w] = bm
+		}
+
+		// Merge metadata and lay out the output file (§3.3, Figure 2).
+		r.SetPhase(simtime.PhaseOutput)
+		sel := make([]selection, workers+1)
+		var masterData []byte
+		var view mpiio.View
+		for q := q0; q < q1; q++ {
+			var all []engine.HitMeta
+			var work blast.WorkCounters
+			for w := 1; w <= workers; w++ {
+				qm := perWorker[w].PerQuery[q-q0]
+				all = append(all, qm.Hits...)
+				work.Add(qm.Work)
+			}
+			r.Advance(float64(len(all)) * r.Cost().MergeItemCost)
+			merged := engine.MergeHits(all, maxTargets)
+
+			query := job.Queries[q]
+			header := blast.RenderHeader(job.Options.OutFormat, meta.Kind, query, dbInfo)
+			summary := blast.RenderSummary(job.Options.OutFormat, engine.SummaryResults(merged))
+			space := engine.SearchSpaceFor(searcher, query.Len(), meta.TotalLen, meta.NumSeqs)
+			footer := blast.RenderFooter(job.Options.OutFormat, searcher.GappedParams(), space, work)
+			r.FormatCost(int64(len(header)+len(summary)+len(footer)) / 8)
+
+			headOff := off
+			cur := off + int64(len(header)+len(summary))
+			for _, h := range merged {
+				s := &sel[h.Worker]
+				s.Queries = append(s.Queries, q)
+				s.OIDs = append(s.OIDs, h.OID)
+				s.Offsets = append(s.Offsets, cur)
+				s.Lengths = append(s.Lengths, h.BlockSize)
+				cur += h.BlockSize
+			}
+			masterData = append(masterData, header...)
+			masterData = append(masterData, summary...)
+			masterData = append(masterData, footer...)
+			view.Segments = append(view.Segments,
+				mpiio.Segment{Offset: headOff, Length: int64(len(header) + len(summary))},
+				mpiio.Segment{Offset: cur, Length: int64(len(footer))})
+			off = cur + int64(len(footer))
+		}
+		for w := 1; w <= workers; w++ {
+			r.Send(w, tagSelect, sel[w].encode())
+		}
+		if err := out.SetView(view); err != nil {
+			return err
+		}
+		if meta.Independent {
+			if err := out.WriteIndependent(masterData); err != nil {
+				return err
+			}
+			r.Barrier()
+			return nil
+		}
+		return out.WriteCollective(masterData)
+	})
+	if err != nil {
+		return err
+	}
+	r.SetPhase(simtime.PhaseOther)
+	r.Barrier()
+	return nil
+}
+
+// workerState is everything a worker caches between the search and output
+// phases: the subjects it searched, plus per-query hit lists.
+type workerState struct {
+	frag  blast.Fragment // all subjects this worker searched
+	byOID map[int]int    // OID -> index into frag.Subjects
+	hits  [][]*blast.SubjectResult
+	work  []blast.WorkCounters
+}
+
+func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
+	r.SetPhase(simtime.PhaseOther)
+	r.Advance(r.Cost().SetupCost)
+	var meta jobMeta
+	if err := engine.DecodeGob(r.Bcast(0, nil), &meta); err != nil {
+		return err
+	}
+	queries := meta.Queries.Unpack()
+	searcher, err := blast.NewSearcher(opts)
+	if err != nil {
+		return err
+	}
+	maxTargets := searcher.Options().MaxTargetSeqs
+	ctx := searcher.NewContext()
+
+	st := &workerState{
+		byOID: make(map[int]int),
+		hits:  make([][]*blast.SubjectResult, len(queries)),
+		work:  make([]blast.WorkCounters, len(queries)),
+	}
+
+	// Phase 1: acquire virtual fragments and search every query against
+	// them. Static mode reads a fixed set ("the input stage"); dynamic
+	// mode interleaves greedy assignment, reading, and searching.
+	searchPart := func(part []wireExtent) error {
+		r.Yield() // keep virtual-time order across ranks' storage accesses
+		r.SetPhase(simtime.PhaseInput)
+		frag, err := readPart(r, node, part)
+		if err != nil {
+			return err
+		}
+		base := len(st.frag.Subjects)
+		st.frag.Subjects = append(st.frag.Subjects, frag.Subjects...)
+		for i := base; i < len(st.frag.Subjects); i++ {
+			st.byOID[st.frag.Subjects[i].OID] = i
+		}
+		r.SetPhase(simtime.PhaseSearch)
+		for qi, q := range queries {
+			if err := ctx.SetQuery(q); err != nil {
+				return err
+			}
+			space := engine.SearchSpaceFor(searcher, q.Len(), meta.TotalLen, meta.NumSeqs)
+			res, err := ctx.SearchFragment(frag, space)
+			if err != nil {
+				return err
+			}
+			r.Compute(res.Work.Units())
+			st.hits[qi] = append(st.hits[qi], res.Hits...)
+			st.work[qi].Add(res.Work)
+			r.Yield()
+		}
+		return nil
+	}
+
+	workers := r.Size() - 1
+	if meta.Dynamic {
+		for {
+			r.SetPhase(simtime.PhaseSearch)
+			r.Send(0, tagPartReq, nil)
+			data, _, _ := r.Recv(0, tagPartAssign)
+			part, err := engine.DecodeInt(data)
+			if err != nil {
+				return err
+			}
+			if part < 0 {
+				break
+			}
+			if err := searchPart(meta.Parts[part]); err != nil {
+				return err
+			}
+		}
+	} else {
+		for pi := range meta.Parts {
+			if pi%workers == r.ID()-1 {
+				if err := searchPart(meta.Parts[pi]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Phase 2: per-batch merge and parallel output.
+	outFile := mpiio.OpenOrCreate(r, node.Shared, meta.OutputPath)
+	bounds := fixedBounds(len(queries), meta.QueryBatch)
+	if meta.MemBudget > 0 {
+		// Adaptive batching (§5): agree on batch boundaries sized to the
+		// memory budget, using cheap per-query volume estimates (the
+		// alignment panels dominate a block, ≈4 bytes per subject residue
+		// in the aligned span).
+		r.SetPhase(simtime.PhaseOutput)
+		local := make([]int64, len(queries))
+		for q := range queries {
+			var est int64
+			for _, hit := range st.hits[q] {
+				for _, h := range hit.HSPs {
+					est += int64(4*(h.SubjTo-h.SubjFrom)) + 256
+				}
+			}
+			local[q] = est
+		}
+		volumes := exchangeVolumes(r, local)
+		bounds = adaptiveBounds(volumes, meta.MemBudget)
+	}
+	err = runBatches(bounds, func(q0, q1 int) error {
+		r.SetPhase(simtime.PhaseOutput)
+		// Consolidate each query's hits across this worker's parts.
+		for q := q0; q < q1; q++ {
+			blast.SortHits(st.hits[q])
+			if len(st.hits[q]) > maxTargets {
+				st.hits[q] = st.hits[q][:maxTargets]
+			}
+		}
+		if meta.EarlyPrune {
+			for q := q0; q < q1; q++ {
+				scores := make([]int64, 0, len(st.hits[q]))
+				for _, h := range st.hits[q] {
+					scores = append(scores, int64(h.BestScore()))
+				}
+				threshold := exchangeThreshold(r, scores, maxTargets)
+				kept := st.hits[q][:0]
+				for _, h := range st.hits[q] {
+					if int64(h.BestScore()) >= threshold {
+						kept = append(kept, h)
+					}
+				}
+				st.hits[q] = kept
+			}
+		}
+		// Result caching (§3.2): render candidate blocks into memory and
+		// submit metadata only.
+		blocks := make(map[[2]int][]byte)
+		bm := batchMetas{FirstQuery: q0}
+		for q := q0; q < q1; q++ {
+			qm := engine.QueryMeta{QueryIndex: q, Work: st.work[q]}
+			for _, hit := range st.hits[q] {
+				subj := st.frag.Subjects[st.byOID[hit.OID]].Residues
+				block := []byte(blast.RenderHit(opts.OutFormat, queries[q], subj, hit, opts.Matrix))
+				r.FormatCost(int64(len(block)))
+				blocks[[2]int{q, hit.OID}] = block
+				qm.Hits = append(qm.Hits, engine.MetaFromResult(r.ID(), hit, int64(len(block))))
+			}
+			bm.PerQuery = append(bm.PerQuery, qm)
+		}
+		r.Send(0, tagResults, bm.encode())
+
+		// Selection: assemble the chosen blocks in offset order and write.
+		data, _, _ := r.Recv(0, tagSelect)
+		sel, err := decodeSelection(data)
+		if err != nil {
+			return err
+		}
+		idx := make([]int, len(sel.OIDs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return sel.Offsets[idx[a]] < sel.Offsets[idx[b]] })
+		var view mpiio.View
+		var buf []byte
+		for _, i := range idx {
+			key := [2]int{sel.Queries[i], sel.OIDs[i]}
+			block, ok := blocks[key]
+			if !ok {
+				return fmt.Errorf("core: master selected unknown hit q=%d OID=%d", key[0], key[1])
+			}
+			if int64(len(block)) != sel.Lengths[i] {
+				return fmt.Errorf("core: block size mismatch for q=%d OID=%d: %d vs %d",
+					key[0], key[1], len(block), sel.Lengths[i])
+			}
+			view.Segments = append(view.Segments, mpiio.Segment{Offset: sel.Offsets[i], Length: sel.Lengths[i]})
+			buf = append(buf, block...)
+			r.MemCopy(int64(len(block)))
+		}
+		if err := outFile.SetView(view); err != nil {
+			return err
+		}
+		if meta.Independent {
+			if err := outFile.WriteIndependent(buf); err != nil {
+				return err
+			}
+			r.Barrier()
+			return nil
+		}
+		return outFile.WriteCollective(buf)
+	})
+	if err != nil {
+		return err
+	}
+	r.SetPhase(simtime.PhaseOther)
+	r.Barrier()
+	return nil
+}
+
+// fixedBounds builds the boundary list for fixed-size batches.
+func fixedBounds(n, b int) []int {
+	if b < 1 {
+		b = 1
+	}
+	bounds := []int{0}
+	for start := b; start < n; start += b {
+		bounds = append(bounds, start)
+	}
+	return append(bounds, n)
+}
+
+// readPart reads one virtual fragment's extents from the global shared
+// files — contiguous independent reads of the index slices, header range,
+// and sequence range; no staging copy.
+func readPart(r *mpi.Rank, node *vfs.Node, part []wireExtent) (*blast.Fragment, error) {
+	frag := &blast.Fragment{}
+	for _, e := range part {
+		idx, err := mpiio.Open(r, node.Shared, formatdb.IndexPath(e.VolBase))
+		if err != nil {
+			return nil, err
+		}
+		count := e.To - e.From
+		hdrOffs := formatdb.DecodeOffsets(idx.ReadAt(e.HdrArrayPos, 8*int64(count+1)))
+		seqOffs := formatdb.DecodeOffsets(idx.ReadAt(e.SeqArrayPos, 8*int64(count+1)))
+		hdrFile, err := mpiio.Open(r, node.Shared, formatdb.HeaderPath(e.VolBase))
+		if err != nil {
+			return nil, err
+		}
+		seqFile, err := mpiio.Open(r, node.Shared, formatdb.SeqPath(e.VolBase))
+		if err != nil {
+			return nil, err
+		}
+		hdrBuf := hdrFile.ReadContiguous(e.HdrOff, e.HdrLen)
+		seqBuf := seqFile.ReadContiguous(e.SeqOff, e.SeqLen)
+		recs, err := formatdb.DecodeWithOffsets(e.OIDFrom, hdrOffs, seqOffs, hdrBuf, seqBuf)
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			frag.Subjects = append(frag.Subjects, blast.Subject{
+				OID: rec.OID, ID: rec.ID, Defline: rec.Defline, Residues: rec.Residues,
+			})
+		}
+	}
+	return frag, nil
+}
+
+// exchangeThreshold implements early score communication: ranks gather
+// everyone's candidate scores and return the global k-th best (or a
+// sentinel minimum when fewer than k hits exist anywhere). Deterministic
+// and identical on every rank.
+func exchangeThreshold(r *mpi.Rank, scores []int64, k int) int64 {
+	buf := make([]byte, 8*len(scores))
+	for i, s := range scores {
+		for b := 0; b < 8; b++ {
+			buf[8*i+b] = byte(uint64(s) >> (8 * b))
+		}
+	}
+	all := r.AllGather(buf)
+	var flat []int64
+	for _, d := range all {
+		for i := 0; i+8 <= len(d); i += 8 {
+			var v uint64
+			for b := 0; b < 8; b++ {
+				v |= uint64(d[i+b]) << (8 * b)
+			}
+			flat = append(flat, int64(v))
+		}
+	}
+	if len(flat) <= k {
+		return -1 << 62
+	}
+	sort.Slice(flat, func(a, b int) bool { return flat[a] > flat[b] })
+	return flat[k-1]
+}
+
+// AdaptiveBoundsForTest exposes the batch-boundary computation to tests.
+func AdaptiveBoundsForTest(volumes []int64, budget int64) []int {
+	return adaptiveBounds(volumes, budget)
+}

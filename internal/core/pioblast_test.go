@@ -1,0 +1,508 @@
+package core_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parblast/internal/blast"
+	"parblast/internal/core"
+	"parblast/internal/engine"
+	"parblast/internal/formatdb"
+	"parblast/internal/mpi"
+	"parblast/internal/mpiblast"
+	"parblast/internal/seq"
+	"parblast/internal/simtime"
+	"parblast/internal/vfs"
+	"parblast/internal/workload"
+)
+
+// fixture builds a formatted database plus query set on a fresh cluster.
+type fixture struct {
+	job     *engine.Job
+	db      *formatdb.DB
+	queries []*seq.Sequence
+}
+
+// makeFixture samples queries from the same synthetic DB that newCluster
+// formats (identical seed/config), so queries are guaranteed homologs.
+func makeFixture(t *testing.T, queryBytes int) *fixture {
+	t.Helper()
+	seqs, err := workload.SynthesizeDB(workload.DBConfig{
+		Kind: seq.Protein, NumSeqs: 60, MeanLen: 150, Seed: 101,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := workload.SampleQueries(seqs, workload.QueryConfig{
+		TargetBytes: queryBytes, MeanLen: 100, MutationRate: 0.05, Seed: 202,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		queries: queries,
+		job: &engine.Job{
+			DBBase:     "nr",
+			Queries:    queries,
+			Options:    blast.DefaultProteinOptions(),
+			OutputPath: "results.out",
+		},
+	}
+}
+
+// newCluster formats the fixture's DB onto a fresh cluster's shared FS.
+func (fx *fixture) newCluster(t *testing.T, n int, shared vfs.Profile, local *vfs.Profile, volMax int64) []*vfs.Node {
+	t.Helper()
+	nodes, err := vfs.Cluster(n, shared, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := workload.SynthesizeDB(workload.DBConfig{
+		Kind: seq.Protein, NumSeqs: 60, MeanLen: 150, Seed: 101,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := formatdb.Format(nodes[0].Shared, "nr", seqs, formatdb.Config{
+		Title: "synthetic nr", Kind: seq.Protein, VolumeMaxResidues: volMax,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.db = db
+	return nodes
+}
+
+func testCost() simtime.CostModel { return simtime.DefaultCostModel() }
+
+func localDisk() *vfs.Profile {
+	p := vfs.LocalDisk()
+	return &p
+}
+
+// runAllThree executes the sequential oracle, the baseline, and pioBLAST on
+// identical inputs and returns the three output files.
+func runAllThree(t *testing.T, fx *fixture, nprocs, fragments int, shared vfs.Profile, local *vfs.Profile, opts core.Options) (seqOut, mpiOut, pioOut []byte, mpiRes, pioRes engine.RunResult) {
+	t.Helper()
+
+	// Sequential oracle.
+	seqNodes := fx.newCluster(t, 1, vfs.RAMDisk(), nil, 0)
+	seqJob := *fx.job
+	if err := engine.RunSequential(seqNodes[0].Shared, &seqJob); err != nil {
+		t.Fatal(err)
+	}
+	seqOut, err := seqNodes[0].Shared.ReadFile(fx.job.OutputPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline.
+	mpiNodes := fx.newCluster(t, nprocs, shared, local, 0)
+	nFrags := fragments
+	if nFrags == 0 {
+		nFrags = nprocs - 1
+	}
+	if _, err := mpiblast.PrepareFragments(mpiNodes[0].Shared, "nr", nFrags); err != nil {
+		t.Fatal(err)
+	}
+	mpiJob := *fx.job
+	mpiJob.Fragments = fragments
+	mpiRes, err = mpiblast.Run(mpiNodes, nprocs, testCost(), &mpiJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpiOut, err = mpiNodes[0].Shared.ReadFile(fx.job.OutputPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// pioBLAST.
+	pioNodes := fx.newCluster(t, nprocs, shared, local, 0)
+	pioJob := *fx.job
+	pioJob.Fragments = fragments
+	pioRes, err = core.Run(pioNodes, nprocs, testCost(), &pioJob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pioOut, err = pioNodes[0].Shared.ReadFile(fx.job.OutputPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seqOut, mpiOut, pioOut, mpiRes, pioRes
+}
+
+func TestEnginesProduceIdenticalOutput(t *testing.T) {
+	fx := makeFixture(t, 400)
+	seqOut, mpiOut, pioOut, _, _ := runAllThree(t, fx, 4, 0, vfs.XFSLike(), localDisk(), core.Options{})
+	if len(seqOut) == 0 {
+		t.Fatal("sequential output empty")
+	}
+	if !bytes.Equal(seqOut, mpiOut) {
+		t.Fatalf("mpiBLAST output differs from sequential (len %d vs %d)\nfirst divergence: %d",
+			len(mpiOut), len(seqOut), firstDiff(seqOut, mpiOut))
+	}
+	if !bytes.Equal(seqOut, pioOut) {
+		t.Fatalf("pioBLAST output differs from sequential (len %d vs %d)\nfirst divergence: %d",
+			len(pioOut), len(seqOut), firstDiff(seqOut, pioOut))
+	}
+	if !strings.Contains(string(seqOut), "Sequences producing significant alignments") {
+		t.Fatal("output has no hit summaries — workload produced no hits")
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func TestEquivalenceAcrossProcessCounts(t *testing.T) {
+	fx := makeFixture(t, 300)
+	var ref []byte
+	for _, n := range []int{2, 3, 6} {
+		seqOut, mpiOut, pioOut, _, _ := runAllThree(t, fx, n, 0, vfs.XFSLike(), localDisk(), core.Options{})
+		if ref == nil {
+			ref = seqOut
+		}
+		if !bytes.Equal(ref, mpiOut) || !bytes.Equal(ref, pioOut) {
+			t.Fatalf("n=%d: outputs differ from reference", n)
+		}
+	}
+}
+
+func TestEquivalenceAcrossFragmentCounts(t *testing.T) {
+	fx := makeFixture(t, 300)
+	seqOut, mpiOut, pioOut, _, _ := runAllThree(t, fx, 4, 9, vfs.XFSLike(), localDisk(), core.Options{})
+	if !bytes.Equal(seqOut, mpiOut) {
+		t.Fatal("mpiBLAST with 9 fragments differs")
+	}
+	if !bytes.Equal(seqOut, pioOut) {
+		t.Fatal("pioBLAST with 9 virtual fragments differs")
+	}
+}
+
+func TestEarlyPrunePreservesOutput(t *testing.T) {
+	fx := makeFixture(t, 300)
+	seqOut, _, pioOut, _, _ := runAllThree(t, fx, 5, 0, vfs.XFSLike(), nil, core.Options{EarlyPrune: true})
+	if !bytes.Equal(seqOut, pioOut) {
+		t.Fatal("early-prune changed the output")
+	}
+}
+
+func TestIndependentOutputPreservesBytes(t *testing.T) {
+	fx := makeFixture(t, 300)
+	seqOut, _, pioOut, _, _ := runAllThree(t, fx, 4, 0, vfs.XFSLike(), nil, core.Options{IndependentOutput: true})
+	if !bytes.Equal(seqOut, pioOut) {
+		t.Fatal("independent-output mode changed the bytes")
+	}
+}
+
+func TestNoLocalDiskUsesSharedScratch(t *testing.T) {
+	// The Altix case: no node-local storage; the baseline copies fragments
+	// to shared scratch instead and everything still works.
+	fx := makeFixture(t, 300)
+	seqOut, mpiOut, pioOut, mpiRes, _ := runAllThree(t, fx, 4, 0, vfs.XFSLike(), nil, core.Options{})
+	if !bytes.Equal(seqOut, mpiOut) || !bytes.Equal(seqOut, pioOut) {
+		t.Fatal("diskless platform broke equivalence")
+	}
+	if mpiRes.Phase.Copy <= 0 {
+		t.Fatal("baseline should still pay a copy phase on shared scratch")
+	}
+}
+
+func TestPioBLASTFasterAndPhaseShapes(t *testing.T) {
+	fx := makeFixture(t, 500)
+	_, _, _, mpiRes, pioRes := runAllThree(t, fx, 6, 0, vfs.XFSLike(), localDisk(), core.Options{})
+	if pioRes.Wall >= mpiRes.Wall {
+		t.Fatalf("pioBLAST (%.2fs) not faster than mpiBLAST (%.2fs)", pioRes.Wall, mpiRes.Wall)
+	}
+	// Phase structure: baseline has a copy phase and no input phase;
+	// pioBLAST is the reverse.
+	if mpiRes.Phase.Copy <= 0 {
+		t.Fatalf("baseline copy phase missing: %+v", mpiRes.Phase)
+	}
+	if mpiRes.Phase.Input != 0 {
+		t.Fatalf("baseline should have no input phase: %+v", mpiRes.Phase)
+	}
+	if pioRes.Phase.Copy != 0 {
+		t.Fatalf("pioBLAST should have no copy phase: %+v", pioRes.Phase)
+	}
+	if pioRes.Phase.Input <= 0 {
+		t.Fatalf("pioBLAST input phase missing: %+v", pioRes.Phase)
+	}
+	// Output phase: the paper's headline — pioBLAST's is far smaller.
+	if pioRes.Phase.Output >= mpiRes.Phase.Output {
+		t.Fatalf("pioBLAST output phase (%.2f) not below baseline (%.2f)",
+			pioRes.Phase.Output, mpiRes.Phase.Output)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	fx := makeFixture(t, 300)
+	run := func() (engine.RunResult, []byte) {
+		nodes := fx.newCluster(t, 4, vfs.XFSLike(), localDisk(), 0)
+		job := *fx.job
+		res, err := core.Run(nodes, 4, testCost(), &job, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := nodes[0].Shared.ReadFile(job.OutputPath)
+		return res, out
+	}
+	r1, o1 := run()
+	r2, o2 := run()
+	if r1.Wall != r2.Wall {
+		t.Fatalf("wall time nondeterministic: %g vs %g", r1.Wall, r2.Wall)
+	}
+	if !bytes.Equal(o1, o2) {
+		t.Fatal("output nondeterministic")
+	}
+}
+
+func TestMultiVolumeDatabase(t *testing.T) {
+	// Format with small volumes so the global DB spans several files; the
+	// engines must read across volume boundaries correctly.
+	fx := makeFixture(t, 300)
+
+	seqNodes, err := vfs.Cluster(1, vfs.RAMDisk(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := workload.SynthesizeDB(workload.DBConfig{Kind: seq.Protein, NumSeqs: 60, MeanLen: 150, Seed: 101})
+	if _, err := formatdb.Format(seqNodes[0].Shared, "nr", seqs, formatdb.Config{
+		Title: "synthetic nr", Kind: seq.Protein, VolumeMaxResidues: workload.TotalResidues(seqs) / 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seqJob := *fx.job
+	if err := engine.RunSequential(seqNodes[0].Shared, &seqJob); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := seqNodes[0].Shared.ReadFile(fx.job.OutputPath)
+
+	nodes, err := vfs.Cluster(4, vfs.XFSLike(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := formatdb.Format(nodes[0].Shared, "nr", seqs, formatdb.Config{
+		Title: "synthetic nr", Kind: seq.Protein, VolumeMaxResidues: workload.TotalResidues(seqs) / 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	job := *fx.job
+	if _, err := core.Run(nodes, 4, testCost(), &job, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := nodes[0].Shared.ReadFile(job.OutputPath)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("multi-volume pioBLAST output differs (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	fx := makeFixture(t, 300)
+	nodes := fx.newCluster(t, 2, vfs.XFSLike(), nil, 0)
+	if _, err := core.Run(nodes, 1, testCost(), fx.job, core.Options{}); err == nil {
+		t.Fatal("1-rank pioBLAST accepted")
+	}
+	bad := *fx.job
+	bad.DBBase = "missing"
+	if _, err := core.Run(nodes, 2, testCost(), &bad, core.Options{}); err == nil {
+		t.Fatal("missing database accepted by pioBLAST")
+	}
+	if _, err := mpiblast.Run(nodes, 2, testCost(), &bad); err == nil {
+		t.Fatal("missing database accepted by baseline")
+	}
+	// Baseline without prepared fragments must fail with a clear error.
+	if _, err := mpiblast.Run(nodes, 2, testCost(), fx.job); err == nil ||
+		!strings.Contains(err.Error(), "fragment") {
+		t.Fatalf("missing fragments not diagnosed: %v", err)
+	}
+}
+
+func TestDynamicAssignmentPreservesOutput(t *testing.T) {
+	fx := makeFixture(t, 300)
+	seqOut, _, pioOut, _, _ := runAllThree(t, fx, 5, 12, vfs.XFSLike(), nil,
+		core.Options{DynamicAssignment: true})
+	if !bytes.Equal(seqOut, pioOut) {
+		t.Fatal("dynamic assignment changed the output")
+	}
+}
+
+func TestQueryBatchingPreservesOutput(t *testing.T) {
+	fx := makeFixture(t, 300)
+	for _, batch := range []int{2, 3, 100} {
+		seqOut, _, pioOut, _, _ := runAllThree(t, fx, 4, 0, vfs.XFSLike(), nil,
+			core.Options{QueryBatch: batch})
+		if !bytes.Equal(seqOut, pioOut) {
+			t.Fatalf("query batch %d changed the output", batch)
+		}
+	}
+}
+
+func TestCombinedOptionsPreserveOutput(t *testing.T) {
+	fx := makeFixture(t, 300)
+	seqOut, _, pioOut, _, _ := runAllThree(t, fx, 5, 15, vfs.XFSLike(), nil,
+		core.Options{DynamicAssignment: true, EarlyPrune: true, QueryBatch: 4})
+	if !bytes.Equal(seqOut, pioOut) {
+		t.Fatal("combined extension options changed the output")
+	}
+}
+
+func TestHeterogeneousDynamicBeatsStatic(t *testing.T) {
+	// On a cluster where a quarter of the workers run at 1/3 speed,
+	// greedy fragment assignment with fine granularity must beat static
+	// natural partitioning — the §5 load-balancing claim.
+	// Needs a search-dominated workload so that compute skew is what
+	// matters; the shared fixture is too small for that.
+	seqs, err := workload.SynthesizeDB(workload.DBConfig{
+		Kind: seq.Protein, NumSeqs: 300, MeanLen: 250, Seed: 31, FamilySize: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hq, err := workload.SampleQueries(seqs, workload.QueryConfig{
+		TargetBytes: 4000, MeanLen: 300, MutationRate: 0.05, Seed: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := make([]float64, 9)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	speeds[7], speeds[8] = 3, 3 // two slow nodes
+
+	run := func(opts core.Options, fragments int) engine.RunResult {
+		nodes, err := vfs.Cluster(9, vfs.XFSLike(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := formatdb.Format(nodes[0].Shared, "nr", seqs, formatdb.Config{
+			Title: "hetero nr", Kind: seq.Protein,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		job := &engine.Job{
+			DBBase: "nr", Queries: hq, Options: blast.DefaultProteinOptions(),
+			OutputPath: "out", Fragments: fragments,
+		}
+		res, err := core.RunConfig(nodes, 9, mpiCfg(speeds), job, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	static := run(core.Options{}, 0)
+	dynamic := run(core.Options{DynamicAssignment: true}, 32)
+	if dynamic.Wall >= static.Wall {
+		t.Fatalf("dynamic assignment (%.3fs) not faster than static (%.3fs) on a heterogeneous cluster",
+			dynamic.Wall, static.Wall)
+	}
+}
+
+func TestQueryBatchingReducesOutputTime(t *testing.T) {
+	// Batching amortizes per-query collective costs; with many queries
+	// the batched run's output phase must not be larger.
+	fx := makeFixture(t, 500)
+	run := func(batch int) engine.RunResult {
+		nodes := fx.newCluster(t, 6, vfs.XFSLike(), nil, 0)
+		job := *fx.job
+		res, err := core.Run(nodes, 6, testCost(), &job, core.Options{QueryBatch: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	perQuery := run(1)
+	batched := run(8)
+	if batched.Phase.Output > perQuery.Phase.Output*1.05 {
+		t.Fatalf("batched output phase (%.3fs) worse than per-query (%.3fs)",
+			batched.Phase.Output, perQuery.Phase.Output)
+	}
+}
+
+func mpiCfg(speeds []float64) mpi.Config {
+	return mpi.Config{Cost: testCost(), Speeds: speeds}
+}
+
+func TestTabularOutputAcrossEngines(t *testing.T) {
+	fx := makeFixture(t, 300)
+	fx.job.Options.OutFormat = blast.FormatTabular
+	seqOut, mpiOut, pioOut, _, _ := runAllThree(t, fx, 4, 0, vfs.XFSLike(), nil, core.Options{})
+	if !bytes.Equal(seqOut, mpiOut) || !bytes.Equal(seqOut, pioOut) {
+		t.Fatal("tabular outputs differ across engines")
+	}
+	text := string(seqOut)
+	if !strings.Contains(text, "# Fields: query id") {
+		t.Fatalf("tabular header missing:\n%.200s", text)
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if got := strings.Count(line, "\t"); got != 11 {
+			t.Fatalf("data line has %d tabs: %q", got, line)
+		}
+	}
+}
+
+func TestFilteredSearchAcrossEngines(t *testing.T) {
+	fx := makeFixture(t, 300)
+	fx.job.Options.FilterLowComplexity = true
+	seqOut, mpiOut, pioOut, _, _ := runAllThree(t, fx, 4, 0, vfs.XFSLike(), nil, core.Options{})
+	if !bytes.Equal(seqOut, mpiOut) || !bytes.Equal(seqOut, pioOut) {
+		t.Fatal("filtered outputs differ across engines")
+	}
+}
+
+func TestAdaptiveBatchingPreservesOutput(t *testing.T) {
+	fx := makeFixture(t, 500)
+	for _, budget := range []int64{1, 4096, 1 << 20} {
+		seqOut, _, pioOut, _, _ := runAllThree(t, fx, 5, 0, vfs.XFSLike(), nil,
+			core.Options{MemoryBudgetBytes: budget})
+		if !bytes.Equal(seqOut, pioOut) {
+			t.Fatalf("budget %d changed the output", budget)
+		}
+	}
+}
+
+func TestAdaptiveBoundsProperties(t *testing.T) {
+	volumes := []int64{100, 900, 50, 50, 50, 2000, 10}
+	bounds := core.AdaptiveBoundsForTest(volumes, 1000)
+	// Boundaries must start at 0, end at len, be strictly increasing.
+	if bounds[0] != 0 || bounds[len(bounds)-1] != len(volumes) {
+		t.Fatalf("bounds endpoints wrong: %v", bounds)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not increasing: %v", bounds)
+		}
+	}
+	// Each multi-query batch fits the budget; single-query batches may
+	// exceed it (a query's output is indivisible).
+	for i := 0; i+1 < len(bounds); i++ {
+		var sum int64
+		for q := bounds[i]; q < bounds[i+1]; q++ {
+			sum += volumes[q]
+		}
+		if bounds[i+1]-bounds[i] > 1 && sum > 1000 {
+			t.Fatalf("batch [%d,%d) volume %d exceeds budget: %v", bounds[i], bounds[i+1], sum, bounds)
+		}
+	}
+	// A huge budget yields one batch; a tiny budget yields one per query.
+	if got := core.AdaptiveBoundsForTest(volumes, 1<<40); len(got) != 2 {
+		t.Fatalf("huge budget should give one batch: %v", got)
+	}
+	if got := core.AdaptiveBoundsForTest(volumes, 1); len(got) != len(volumes)+1 {
+		t.Fatalf("tiny budget should give per-query batches: %v", got)
+	}
+}

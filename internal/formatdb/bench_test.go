@@ -1,0 +1,60 @@
+package formatdb
+
+import (
+	"testing"
+
+	"parblast/internal/seq"
+	"parblast/internal/vfs"
+	"parblast/internal/workload"
+)
+
+func benchSeqs(b *testing.B, n int) []*seq.Sequence {
+	seqs, err := workload.SynthesizeDB(workload.DBConfig{
+		Kind: seq.Protein, NumSeqs: n, MeanLen: 300, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return seqs
+}
+
+func BenchmarkFormat(b *testing.B) {
+	seqs := benchSeqs(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := vfs.MustNew(vfs.RAMDisk())
+		if _, err := Format(fs, "nr", seqs, Config{Kind: seq.Protein}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartition(b *testing.B) {
+	fs := vfs.MustNew(vfs.RAMDisk())
+	db, err := Format(fs, "nr", benchSeqs(b, 2000), Config{Kind: seq.Protein})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parts, err := db.Partition(61)
+		if err != nil || len(parts) != 61 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPhysicalFragment(b *testing.B) {
+	seqs := benchSeqs(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := vfs.MustNew(vfs.RAMDisk())
+		db, err := Format(fs, "nr", seqs, Config{Kind: seq.Protein})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.PhysicalFragment(fs, 31); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package formatdb
+
+import (
+	"testing"
+
+	"parblast/internal/seq"
+	"parblast/internal/vfs"
+)
+
+// FuzzDecodeIndex hardens the on-disk index parser: arbitrary (possibly
+// truncated or corrupted) index bytes must produce an error, never a panic.
+func FuzzDecodeIndex(f *testing.F) {
+	fs := vfs.MustNew(vfs.RAMDisk())
+	seqs := []*seq.Sequence{
+		seq.New(seq.ProteinAlphabet, "a", "first", "MKVLAW"),
+		seq.New(seq.ProteinAlphabet, "b", "", "WWYV"),
+	}
+	if _, err := Format(fs, "fz", seqs, Config{Kind: seq.Protein, Title: "fuzz"}); err != nil {
+		f.Fatal(err)
+	}
+	good, _ := fs.ReadFile("fz.pin")
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:8])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		title, kind, info, err := decodeIndex(data)
+		if err != nil {
+			return
+		}
+		_ = title
+		_ = kind
+		if info.NumSeqs < 0 {
+			t.Fatal("negative NumSeqs decoded")
+		}
+	})
+}

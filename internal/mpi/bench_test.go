@@ -1,0 +1,59 @@
+package mpi
+
+import "testing"
+
+func BenchmarkPingPong(b *testing.B) {
+	payload := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := Run(2, testCost(), func(r *Rank) error {
+			for k := 0; k < 100; k++ {
+				if r.ID() == 0 {
+					r.Send(1, 1, payload)
+					r.Recv(1, 2)
+				} else {
+					r.Recv(0, 1)
+					r.Send(0, 2, payload)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMasterWorkerFanIn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Run(16, testCost(), func(r *Rank) error {
+			if r.ID() == 0 {
+				for k := 0; k < 15*10; k++ {
+					r.Recv(AnySource, AnyTag)
+				}
+				return nil
+			}
+			for k := 0; k < 10; k++ {
+				r.Send(0, 1, make([]byte, 256))
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Run(32, testCost(), func(r *Rank) error {
+			for k := 0; k < 10; k++ {
+				r.Barrier()
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

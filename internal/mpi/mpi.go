@@ -1,0 +1,723 @@
+// Package mpi simulates an MPI runtime for the parallel BLAST engines:
+// ranks are goroutines, messages are real byte payloads, and time is
+// virtual, driven by a simtime.CostModel.
+//
+// # Execution model
+//
+// The world runs as a sequential discrete-event simulation: at any moment
+// exactly one rank executes (it holds the scheduler token). A rank runs
+// until it blocks — on a receive with no matching message, or inside a
+// collective — and then the scheduler hands the token to the eligible rank
+// with the smallest virtual time. This rule makes runs fully deterministic
+// (identical clocks, identical message orders) while still exercising the
+// real concurrent message-passing structure of the engines:
+//
+//   - a rank that is ready to run is eligible at its own clock;
+//   - a rank blocked on a receive is eligible at max(clock, earliest
+//     matching arrival), and ineligible while no match is queued;
+//   - a rank inside a collective is ineligible until the last participant
+//     arrives, which releases everyone at the collective's completion time.
+//
+// Because the scheduler always advances the globally earliest event, any
+// message sent in the future carries an arrival no earlier than the event
+// being executed, so receive choices (including AnySource) are exact.
+//
+// # Cost model
+//
+// Send charges the sender size/bandwidth (its NIC is busy), and the message
+// arrives one latency later. Receive waits for arrival, then charges the
+// receiver size/bandwidth. A master that handles per-item request/reply
+// traffic therefore serializes on its own clock — the exact phenomenon the
+// paper's result-merging analysis is about.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"parblast/internal/simtime"
+	"parblast/internal/vfs"
+)
+
+// AnySource matches a message from any rank; AnyTag matches any tag.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+type rankState int
+
+const (
+	stateReady rankState = iota
+	stateRunning
+	stateBlockedRecv
+	stateBlockedColl
+	stateDone
+)
+
+func (s rankState) String() string {
+	switch s {
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateBlockedRecv:
+		return "blocked-recv"
+	case stateBlockedColl:
+		return "blocked-collective"
+	case stateDone:
+		return "done"
+	}
+	return "?"
+}
+
+type message struct {
+	src, tag int
+	data     []byte
+	arrival  float64
+	seq      int64
+}
+
+type collective struct {
+	op      string
+	datas   [][]byte
+	count   int
+	release float64
+	done    bool
+}
+
+// World is the shared state of one simulated MPI job.
+type World struct {
+	n      int
+	cost   simtime.CostModel
+	config Config
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	ranks     []*Rank
+	states    []rankState
+	recvSrc   []int // per rank, when blocked on recv
+	recvTag   []int
+	inbox     [][]message
+	coll      *collective
+	collOf    []*collective
+	seq       int64
+	active    int
+	doneCount int
+	aborted   bool
+	abortMsg  string
+	firstErr  error
+}
+
+// Rank is one simulated MPI process.
+type Rank struct {
+	id    int
+	world *World
+	clock *simtime.Clock
+}
+
+type abortPanic struct{ msg string }
+
+// Config bundles a cost model with optional per-rank heterogeneity.
+type Config struct {
+	Cost simtime.CostModel
+	// Speeds scales each rank's compute cost: 1 is the baseline node,
+	// 2 runs compute twice as slowly. nil or missing entries mean 1.
+	// Models the heterogeneous clusters the paper's §5 load-balancing
+	// discussion targets.
+	Speeds []float64
+	// Observer, when non-nil, returns a per-rank phase-span callback that
+	// is installed on each rank's clock (see internal/trace).
+	Observer func(rank int) func(phase string, from, to float64)
+	// Comm, when non-nil, accumulates per-rank communication volume —
+	// the metric behind the paper's §3.2 message-volume-reduction claim.
+	Comm *CommStats
+}
+
+// ShuffleTagBase splits the tag space: tags at or above it belong to the
+// collective-I/O data shuffle (internal/mpiio), below it to the engines'
+// result-merging protocols. The split matters for measurement: the paper's
+// §3.2 claim is about PROTOCOL volume (what flows through the master during
+// merging), while shuffle volume is §3.3's deliberate network-for-disk
+// trade.
+const ShuffleTagBase = 1 << 20
+
+// CommStats tallies communication per rank, split into protocol traffic
+// and collective-I/O shuffle traffic. Safe for concurrent use.
+type CommStats struct {
+	mu       sync.Mutex
+	protocol []int64
+	shuffle  []int64
+	messages []int64
+}
+
+// NewCommStats sizes a collector for n ranks.
+func NewCommStats(n int) *CommStats {
+	return &CommStats{
+		protocol: make([]int64, n),
+		shuffle:  make([]int64, n),
+		messages: make([]int64, n),
+	}
+}
+
+func (c *CommStats) add(rank, tag int, bytes int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if rank < len(c.protocol) {
+		if tag >= ShuffleTagBase {
+			c.shuffle[rank] += bytes
+		} else {
+			c.protocol[rank] += bytes
+		}
+		c.messages[rank]++
+	}
+	c.mu.Unlock()
+}
+
+// Rank returns one rank's sent protocol bytes, shuffle bytes, and message
+// count.
+func (c *CommStats) Rank(rank int) (protocol, shuffle, messages int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rank >= len(c.protocol) {
+		return 0, 0, 0
+	}
+	return c.protocol[rank], c.shuffle[rank], c.messages[rank]
+}
+
+// Totals sums across ranks.
+func (c *CommStats) Totals() (protocol, shuffle, messages int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.protocol {
+		protocol += c.protocol[i]
+		shuffle += c.shuffle[i]
+		messages += c.messages[i]
+	}
+	return protocol, shuffle, messages
+}
+
+func (c Config) speed(rank int) float64 {
+	if rank < len(c.Speeds) && c.Speeds[rank] > 0 {
+		return c.Speeds[rank]
+	}
+	return 1
+}
+
+// Run executes body on n ranks and returns their clocks. It returns an
+// error if any body returns an error, panics, or the job deadlocks.
+func Run(n int, cost simtime.CostModel, body func(*Rank) error) ([]*simtime.Clock, error) {
+	return RunConfig(n, Config{Cost: cost}, body)
+}
+
+// RunConfig is Run with per-rank heterogeneity.
+func RunConfig(n int, cfg Config, body func(*Rank) error) ([]*simtime.Clock, error) {
+	cost := cfg.Cost
+	if n < 1 {
+		return nil, fmt.Errorf("mpi: world size %d < 1", n)
+	}
+	if err := cost.Validate(); err != nil {
+		return nil, err
+	}
+	for i, s := range cfg.Speeds {
+		if s < 0 {
+			return nil, fmt.Errorf("mpi: negative speed factor %g for rank %d", s, i)
+		}
+	}
+	w := &World{
+		n:       n,
+		cost:    cost,
+		config:  cfg,
+		states:  make([]rankState, n),
+		recvSrc: make([]int, n),
+		recvTag: make([]int, n),
+		inbox:   make([][]message, n),
+		collOf:  make([]*collective, n),
+		active:  -1,
+	}
+	w.cond = sync.NewCond(&w.mu)
+	clocks := make([]*simtime.Clock, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		r := &Rank{id: i, world: w, clock: simtime.NewClock()}
+		if cfg.Observer != nil {
+			r.clock.SetObserver(cfg.Observer(i))
+		}
+		clocks[i] = r.clock
+		w.ranks = append(w.ranks, r)
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, isAbort := rec.(abortPanic); !isAbort {
+						w.mu.Lock()
+						if w.firstErr == nil {
+							w.firstErr = fmt.Errorf("mpi: rank %d panicked: %v", r.id, rec)
+						}
+						w.mu.Unlock()
+					}
+				}
+				w.finishRank(r.id)
+			}()
+			r.waitActiveInitial()
+			if err := body(r); err != nil {
+				w.mu.Lock()
+				if w.firstErr == nil {
+					w.firstErr = fmt.Errorf("mpi: rank %d: %w", r.id, err)
+				}
+				w.mu.Unlock()
+			}
+		}(w.ranks[i])
+	}
+	// Kick the scheduler once every goroutine has parked as ready.
+	w.mu.Lock()
+	for w.readyCountLocked() < n {
+		w.cond.Wait()
+	}
+	w.scheduleLocked()
+	w.mu.Unlock()
+	wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.firstErr != nil {
+		return clocks, w.firstErr
+	}
+	if w.aborted {
+		return clocks, fmt.Errorf("mpi: %s", w.abortMsg)
+	}
+	return clocks, nil
+}
+
+func (w *World) readyCountLocked() int {
+	c := 0
+	for _, s := range w.states {
+		if s == stateReady {
+			c++
+		}
+	}
+	return c
+}
+
+// waitActiveInitial parks the rank as ready and waits for its first grant.
+func (r *Rank) waitActiveInitial() {
+	w := r.world
+	w.mu.Lock()
+	w.states[r.id] = stateReady
+	w.cond.Broadcast() // let Run see that we parked
+	for w.active != r.id && !w.aborted {
+		w.cond.Wait()
+	}
+	if w.aborted {
+		w.mu.Unlock()
+		panic(abortPanic{w.abortMsg})
+	}
+	w.states[r.id] = stateRunning
+	w.mu.Unlock()
+}
+
+// finishRank marks the rank done and hands the token onward.
+func (w *World) finishRank(id int) {
+	w.mu.Lock()
+	w.states[id] = stateDone
+	w.doneCount++
+	if w.active == id {
+		w.active = -1
+		w.scheduleLocked()
+	}
+	w.mu.Unlock()
+}
+
+// scheduleLocked picks the eligible rank with the smallest virtual time and
+// grants it the token. Caller holds w.mu and has already parked itself.
+func (w *World) scheduleLocked() {
+	if w.aborted {
+		w.cond.Broadcast()
+		return
+	}
+	bestRank := -1
+	bestTime := math.Inf(1)
+	for i := 0; i < w.n; i++ {
+		var t float64
+		switch w.states[i] {
+		case stateReady:
+			t = w.ranks[i].clock.Now()
+		case stateBlockedRecv:
+			m, ok := w.earliestMatchLocked(i)
+			if !ok {
+				continue
+			}
+			t = math.Max(w.ranks[i].clock.Now(), m.arrival)
+		default:
+			continue
+		}
+		if t < bestTime || (t == bestTime && i < bestRank) {
+			bestTime = t
+			bestRank = i
+		}
+	}
+	if bestRank < 0 {
+		if w.doneCount == w.n {
+			return // clean finish
+		}
+		if w.firstErr != nil {
+			// A rank died with an error; release everyone else.
+			w.abortLocked(fmt.Sprintf("aborted after error: %v", w.firstErr))
+			return
+		}
+		w.abortLocked("deadlock: " + w.stateDumpLocked())
+		return
+	}
+	w.active = bestRank
+	w.cond.Broadcast()
+}
+
+func (w *World) abortLocked(msg string) {
+	w.aborted = true
+	w.abortMsg = msg
+	w.cond.Broadcast()
+}
+
+func (w *World) stateDumpLocked() string {
+	var b strings.Builder
+	for i := 0; i < w.n; i++ {
+		fmt.Fprintf(&b, "rank %d %s t=%.3f", i, w.states[i], w.ranks[i].clock.Now())
+		if w.states[i] == stateBlockedRecv {
+			fmt.Fprintf(&b, " (waiting src=%d tag=%d, %d queued)",
+				w.recvSrc[i], w.recvTag[i], len(w.inbox[i]))
+		}
+		b.WriteString("; ")
+	}
+	return b.String()
+}
+
+// earliestMatchLocked finds the queued message for rank i's pending receive
+// with the smallest (arrival, seq).
+func (w *World) earliestMatchLocked(i int) (message, bool) {
+	src, tag := w.recvSrc[i], w.recvTag[i]
+	best := -1
+	for k, m := range w.inbox[i] {
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			if best < 0 || m.arrival < w.inbox[i][best].arrival ||
+				(m.arrival == w.inbox[i][best].arrival && m.seq < w.inbox[i][best].seq) {
+				best = k
+			}
+		}
+	}
+	if best < 0 {
+		return message{}, false
+	}
+	return w.inbox[i][best], true
+}
+
+func (w *World) takeMessageLocked(i int, m message) {
+	q := w.inbox[i]
+	for k := range q {
+		if q[k].seq == m.seq {
+			w.inbox[i] = append(q[:k], q[k+1:]...)
+			return
+		}
+	}
+	panic("mpi: message vanished from inbox")
+}
+
+// block parks the calling (active) rank in the given state, runs the
+// scheduler, and returns when the rank is granted the token again.
+// Caller holds w.mu.
+func (r *Rank) blockLocked(s rankState) {
+	w := r.world
+	w.states[r.id] = s
+	w.active = -1
+	w.scheduleLocked()
+	for w.active != r.id && !w.aborted {
+		w.cond.Wait()
+	}
+	if w.aborted {
+		w.mu.Unlock()
+		panic(abortPanic{w.abortMsg})
+	}
+	w.states[r.id] = stateRunning
+}
+
+// ID returns the rank number (0-based).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.world.n }
+
+// Clock exposes the rank's virtual clock.
+func (r *Rank) Clock() *simtime.Clock { return r.clock }
+
+// Cost exposes the world's cost model.
+func (r *Rank) Cost() simtime.CostModel { return r.world.cost }
+
+// SetPhase switches the phase bucket charged for subsequent time.
+func (r *Rank) SetPhase(phase string) { r.clock.SetPhase(phase) }
+
+// Advance charges d virtual seconds of local work.
+func (r *Rank) Advance(d float64) { r.clock.Advance(d) }
+
+// Yield hands the scheduler token to the rank with the smallest virtual
+// clock (possibly this one again). Long compute/I-O loops that never block
+// should yield between steps so that shared-resource accesses (storage
+// channel pools) are issued in virtual-time order across ranks; without
+// yields a rank would run its whole phase in one token hold and other
+// ranks' earlier accesses would falsely queue behind its later ones.
+func (r *Rank) Yield() {
+	w := r.world
+	w.mu.Lock()
+	r.blockLocked(stateReady)
+	w.mu.Unlock()
+}
+
+// Compute charges work units at the model's search-unit cost, scaled by
+// the rank's node-speed factor.
+func (r *Rank) Compute(units int64) {
+	r.clock.Advance(float64(units) * r.world.cost.SearchUnitCost * r.world.config.speed(r.id))
+}
+
+// Speed reports the rank's node-speed factor (1 = baseline).
+func (r *Rank) Speed() float64 { return r.world.config.speed(r.id) }
+
+// FormatCost charges the per-byte report-rendering cost for n bytes.
+func (r *Rank) FormatCost(n int64) {
+	r.clock.Advance(float64(n) * r.world.cost.FormatByteCost)
+}
+
+// MemCopy charges an in-memory copy of n bytes.
+func (r *Rank) MemCopy(n int64) {
+	r.clock.Advance(float64(n) / r.world.cost.MemCopyBandwidth)
+}
+
+// IO charges a storage access of n bytes against fs, including queueing
+// behind other ranks' concurrent accesses.
+func (r *Rank) IO(fs *vfs.FS, n int64) {
+	end := fs.Access(r.clock.Now(), n)
+	r.clock.AdvanceTo(end)
+}
+
+// Send transmits data to dst with the given tag. It is buffered and does
+// not block. The payload is NOT copied; callers must not mutate it after
+// sending.
+func (r *Rank) Send(dst, tag int, data []byte) {
+	w := r.world
+	if dst < 0 || dst >= w.n {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	w.config.Comm.add(r.id, tag, int64(len(data)))
+	r.clock.Advance(float64(len(data)) / w.cost.NetBandwidth)
+	w.mu.Lock()
+	w.seq++
+	w.inbox[dst] = append(w.inbox[dst], message{
+		src:     r.id,
+		tag:     tag,
+		data:    data,
+		arrival: r.clock.Now() + w.cost.NetLatency,
+		seq:     w.seq,
+	})
+	w.mu.Unlock()
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns its
+// payload, source, and tag. Use AnySource / AnyTag as wildcards.
+func (r *Rank) Recv(src, tag int) (data []byte, from, gotTag int) {
+	w := r.world
+	w.mu.Lock()
+	// Install the match filter BEFORE the first queue scan —
+	// earliestMatchLocked reads it, and a stale filter from a previous
+	// Recv could mis-consume another sender's message.
+	w.recvSrc[r.id], w.recvTag[r.id] = src, tag
+	for {
+		if m, ok := w.earliestMatchLocked(r.id); ok {
+			w.takeMessageLocked(r.id, m)
+			w.mu.Unlock()
+			r.clock.AdvanceTo(m.arrival)
+			r.clock.Advance(float64(len(m.data)) / w.cost.NetBandwidth)
+			return m.data, m.src, m.tag
+		}
+		r.blockLocked(stateBlockedRecv)
+		// Loop: a match is guaranteed present now.
+	}
+}
+
+// logSteps returns ceil(log2(n)), the tree depth collective latencies use.
+func logSteps(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// runCollective synchronizes all ranks; compute receives the gathered
+// per-rank payloads and the maximum entry clock, and returns the common
+// release time. Every rank returns the shared data slice.
+func (r *Rank) runCollective(op string, data []byte, release func(datas [][]byte, maxClock float64) float64) [][]byte {
+	w := r.world
+	w.config.Comm.add(r.id, 0, int64(len(data)))
+	w.mu.Lock()
+	c := w.coll
+	if c == nil {
+		c = &collective{op: op, datas: make([][]byte, w.n)}
+		w.coll = c
+	}
+	if c.op != op {
+		w.mu.Unlock()
+		panic(fmt.Sprintf("mpi: rank %d entered collective %q while %q in progress", r.id, op, c.op))
+	}
+	c.datas[r.id] = data
+	c.count++
+	w.collOf[r.id] = c
+	if c.count < w.n {
+		r.blockLocked(stateBlockedColl)
+		w.mu.Unlock()
+		r.clock.AdvanceTo(c.release)
+		return c.datas
+	}
+	// Last participant: compute release time and free everyone.
+	maxClock := 0.0
+	for _, rk := range w.ranks {
+		if rk.clock.Now() > maxClock {
+			maxClock = rk.clock.Now()
+		}
+	}
+	// Only ranks in this collective are parked; our own clock is included
+	// via ourselves. (All ranks participate by definition.)
+	c.release = release(c.datas, maxClock)
+	c.done = true
+	w.coll = nil
+	for i := 0; i < w.n; i++ {
+		if i != r.id && w.states[i] == stateBlockedColl && w.collOf[i] == c {
+			w.states[i] = stateReady
+		}
+	}
+	w.mu.Unlock()
+	r.clock.AdvanceTo(c.release)
+	return c.datas
+}
+
+// Barrier synchronizes all ranks; everyone leaves at the latest entry time
+// plus a tree-latency term.
+func (r *Rank) Barrier() {
+	w := r.world
+	r.runCollective("barrier", nil, func(_ [][]byte, maxClock float64) float64 {
+		return maxClock + w.cost.NetLatency*logSteps(w.n)
+	})
+}
+
+// Bcast distributes root's payload to every rank and returns it.
+func (r *Rank) Bcast(root int, data []byte) []byte {
+	w := r.world
+	var payload []byte
+	if r.id == root {
+		payload = data
+	}
+	datas := r.runCollective("bcast", payload, func(datas [][]byte, maxClock float64) float64 {
+		size := float64(len(datas[root]))
+		return maxClock + w.cost.NetLatency*logSteps(w.n) + size/w.cost.NetBandwidth
+	})
+	return datas[root]
+}
+
+// Gather collects every rank's payload at root. Root receives the slice
+// indexed by rank; other ranks receive nil. The root link is modelled as
+// the bottleneck: completion pays the total inbound volume.
+func (r *Rank) Gather(root int, data []byte) [][]byte {
+	w := r.world
+	datas := r.runCollective("gather", data, func(datas [][]byte, maxClock float64) float64 {
+		var total int64
+		for i, d := range datas {
+			if i != root {
+				total += int64(len(d))
+			}
+		}
+		return maxClock + w.cost.NetLatency*logSteps(w.n) + float64(total)/w.cost.NetBandwidth
+	})
+	if r.id == root {
+		return datas
+	}
+	return nil
+}
+
+// AllGather collects every rank's payload everywhere.
+func (r *Rank) AllGather(data []byte) [][]byte {
+	w := r.world
+	return r.runCollective("allgather", data, func(datas [][]byte, maxClock float64) float64 {
+		var total int64
+		for _, d := range datas {
+			total += int64(len(d))
+		}
+		return maxClock + w.cost.NetLatency*logSteps(w.n) + float64(total)/w.cost.NetBandwidth
+	})
+}
+
+// ReduceMax computes the element-wise maximum of per-rank int64 vectors at
+// every rank (a convenience for threshold broadcasting in the engines).
+func (r *Rank) ReduceMax(values []int64) []int64 {
+	buf := make([]byte, 8*len(values))
+	for i, v := range values {
+		putInt64(buf[8*i:], v)
+	}
+	datas := r.AllGather(buf)
+	out := make([]int64, len(values))
+	first := true
+	for _, d := range datas {
+		if len(d) != len(buf) {
+			panic("mpi: ReduceMax length mismatch across ranks")
+		}
+		for i := range out {
+			v := getInt64(d[8*i:])
+			if first || v > out[i] {
+				out[i] = v
+			}
+		}
+		first = false
+	}
+	return out
+}
+
+func putInt64(b []byte, v int64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getInt64(b []byte) int64 {
+	var v int64
+	for i := 0; i < 8; i++ {
+		v |= int64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// PendingMessages reports how many undelivered messages each rank has —
+// a post-run hygiene check used by tests.
+func (w *World) PendingMessages() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]int, w.n)
+	for i := range w.inbox {
+		out[i] = len(w.inbox[i])
+	}
+	return out
+}
+
+// SortRanksByClock returns rank ids ordered by final virtual time — a
+// reporting helper.
+func SortRanksByClock(clocks []*simtime.Clock) []int {
+	ids := make([]int, len(clocks))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return clocks[ids[a]].Now() < clocks[ids[b]].Now()
+	})
+	return ids
+}

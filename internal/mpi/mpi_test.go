@@ -1,0 +1,514 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"parblast/internal/simtime"
+	"parblast/internal/vfs"
+)
+
+func testCost() simtime.CostModel {
+	return simtime.CostModel{
+		NetLatency:       1e-3,
+		NetBandwidth:     1e6,
+		SearchUnitCost:   1e-6,
+		FormatByteCost:   1e-8,
+		MergeItemCost:    1e-4,
+		MemCopyBandwidth: 1e9,
+	}
+}
+
+func TestRunSingleRank(t *testing.T) {
+	clocks, err := Run(1, testCost(), func(r *Rank) error {
+		r.Advance(1.5)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clocks[0].Now() != 1.5 {
+		t.Fatalf("clock = %g", clocks[0].Now())
+	}
+}
+
+func TestSendRecvTiming(t *testing.T) {
+	cost := testCost()
+	payload := make([]byte, 1000) // 1ms transfer at 1 MB/s
+	clocks, err := Run(2, cost, func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Advance(5)
+			r.Send(1, 7, payload)
+			return nil
+		}
+		data, from, tag := r.Recv(0, 7)
+		if from != 0 || tag != 7 || len(data) != 1000 {
+			return fmt.Errorf("got %d bytes from %d tag %d", len(data), from, tag)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sender: 5 + 1ms send occupancy. Receiver: arrival 5.001+latency
+	// 0.001 = wait, then 1ms receive copy.
+	want0 := 5 + 0.001
+	if got := clocks[0].Now(); !close(got, want0) {
+		t.Fatalf("sender clock = %g, want %g", got, want0)
+	}
+	want1 := 5 + 0.001 + 0.001 + 0.001 // send occupancy + latency + recv copy
+	if got := clocks[1].Now(); !close(got, want1) {
+		t.Fatalf("receiver clock = %g, want %g", got, want1)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func TestRecvAnySourcePicksEarliest(t *testing.T) {
+	// Rank 1 sends at t=10, rank 2 at t=1. Master's AnySource receive must
+	// deliver rank 2's message first regardless of goroutine scheduling.
+	var order []int
+	_, err := Run(3, testCost(), func(r *Rank) error {
+		switch r.ID() {
+		case 1:
+			r.Advance(10)
+			r.Send(0, 1, []byte("late"))
+		case 2:
+			r.Advance(1)
+			r.Send(0, 1, []byte("early"))
+		case 0:
+			for i := 0; i < 2; i++ {
+				_, from, _ := r.Recv(AnySource, 1)
+				order = append(order, from)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("receive order = %v, want [2 1]", order)
+	}
+}
+
+func TestMessageOrderingSameSender(t *testing.T) {
+	// Messages between one pair with the same tag arrive in send order.
+	var got []byte
+	_, err := Run(2, testCost(), func(r *Rank) error {
+		if r.ID() == 0 {
+			for i := byte(0); i < 10; i++ {
+				r.Send(1, 3, []byte{i})
+			}
+			return nil
+		}
+		for i := 0; i < 10; i++ {
+			data, _, _ := r.Recv(0, 3)
+			got = append(got, data[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(0); i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("order violated: %v", got)
+		}
+	}
+}
+
+func TestTagSelectivity(t *testing.T) {
+	_, err := Run(2, testCost(), func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, 5, []byte("five"))
+			r.Send(1, 9, []byte("nine"))
+			return nil
+		}
+		// Receive tag 9 first even though tag 5 arrived earlier.
+		data, _, tag := r.Recv(0, 9)
+		if tag != 9 || string(data) != "nine" {
+			return fmt.Errorf("tag filter broken: %q tag %d", data, tag)
+		}
+		data, _, _ = r.Recv(0, 5)
+		if string(data) != "five" {
+			return fmt.Errorf("second recv got %q", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	clocks, err := Run(4, testCost(), func(r *Rank) error {
+		r.Advance(float64(r.ID()) * 2) // ranks at 0, 2, 4, 6
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range clocks {
+		if c.Now() < 6 {
+			t.Fatalf("rank %d left barrier at %g before slowest entry", i, c.Now())
+		}
+		if c.Now() != clocks[0].Now() {
+			t.Fatalf("ranks left barrier at different times: %g vs %g", c.Now(), clocks[0].Now())
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	_, err := Run(3, testCost(), func(r *Rank) error {
+		var in []byte
+		if r.ID() == 1 {
+			in = []byte("payload")
+		}
+		out := r.Bcast(1, in)
+		if string(out) != "payload" {
+			return fmt.Errorf("rank %d got %q", r.ID(), out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	_, err := Run(4, testCost(), func(r *Rank) error {
+		data := []byte{byte(r.ID() * 10)}
+		out := r.Gather(2, data)
+		if r.ID() != 2 {
+			if out != nil {
+				return errors.New("non-root got gather data")
+			}
+			return nil
+		}
+		if len(out) != 4 {
+			return fmt.Errorf("root got %d pieces", len(out))
+		}
+		for i, d := range out {
+			if len(d) != 1 || d[0] != byte(i*10) {
+				return fmt.Errorf("piece %d = %v", i, d)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGatherAndReduceMax(t *testing.T) {
+	_, err := Run(3, testCost(), func(r *Rank) error {
+		out := r.AllGather([]byte{byte(r.ID())})
+		if len(out) != 3 || out[2][0] != 2 {
+			return fmt.Errorf("allgather: %v", out)
+		}
+		m := r.ReduceMax([]int64{int64(r.ID()), int64(-r.ID())})
+		if m[0] != 2 || m[1] != 0 {
+			return fmt.Errorf("reducemax: %v", m)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// A master/worker pattern with AnySource receives must produce
+	// identical clocks on every run.
+	run := func() []float64 {
+		clocks, err := Run(8, testCost(), func(r *Rank) error {
+			if r.ID() == 0 {
+				for i := 0; i < 7*3; i++ {
+					data, from, _ := r.Recv(AnySource, 1)
+					r.Advance(1e-4)
+					r.Send(from, 2, data)
+				}
+				return nil
+			}
+			for i := 0; i < 3; i++ {
+				r.Advance(float64(r.ID()) * 1e-3)
+				r.Send(0, 1, make([]byte, 100*r.ID()))
+				r.Recv(0, 2)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, len(clocks))
+		for i, c := range clocks {
+			out[i] = c.Now()
+		}
+		return out
+	}
+	a := run()
+	for trial := 0; trial < 5; trial++ {
+		b := run()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: rank %d clock %g != %g", trial, i, b[i], a[i])
+			}
+		}
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	// Receives never move a clock backwards even when the message arrived
+	// "in the past".
+	clocks, err := Run(2, testCost(), func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, 1, []byte("x")) // arrives ~t=0.001
+			return nil
+		}
+		r.Advance(5) // receiver is far ahead
+		r.Recv(0, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clocks[1].Now() < 5 {
+		t.Fatalf("receiver clock ran backwards: %g", clocks[1].Now())
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	_, err := Run(2, testCost(), func(r *Rank) error {
+		r.Recv(AnySource, AnyTag) // both wait forever
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestBodyErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(3, testCost(), func(r *Rank) error {
+		if r.ID() == 1 {
+			return boom
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("expected boom, got %v", err)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	_, err := Run(2, testCost(), func(r *Rank) error {
+		if r.ID() == 1 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("expected panic error, got %v", err)
+	}
+}
+
+func TestErrorWhileOthersBlockedDoesNotHang(t *testing.T) {
+	_, err := Run(2, testCost(), func(r *Rank) error {
+		if r.ID() == 0 {
+			return errors.New("early exit")
+		}
+		r.Recv(0, 1) // would block forever
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestIOChargesContention(t *testing.T) {
+	fs := vfs.MustNew(vfs.Profile{Name: "t", Latency: 0.5, Bandwidth: 1000, Channels: 1})
+	clocks, err := Run(2, testCost(), func(r *Rank) error {
+		r.IO(fs, 500) // 0.5 + 0.5 = 1s each, serialized
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := clocks[0].Now(), clocks[1].Now()
+	if a > b {
+		a, b = b, a
+	}
+	if !close(a, 1) || !close(b, 2) {
+		t.Fatalf("IO contention wrong: %g %g (want 1, 2)", a, b)
+	}
+}
+
+func TestPhaseAccounting(t *testing.T) {
+	clocks, err := Run(1, testCost(), func(r *Rank) error {
+		r.SetPhase(simtime.PhaseSearch)
+		r.Compute(1000) // 1ms at 1µs/unit
+		r.SetPhase(simtime.PhaseOutput)
+		r.FormatCost(1e6) // 10ms
+		r.MemCopy(1e6)    // 1ms
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := simtime.BreakdownOf(clocks[0])
+	if !close(b.Search, 1e-3) {
+		t.Fatalf("search bucket = %g", b.Search)
+	}
+	if !close(b.Output, 11e-3) {
+		t.Fatalf("output bucket = %g", b.Output)
+	}
+}
+
+func TestWorldSizeValidation(t *testing.T) {
+	if _, err := Run(0, testCost(), func(*Rank) error { return nil }); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	bad := testCost()
+	bad.NetBandwidth = 0
+	if _, err := Run(1, bad, func(*Rank) error { return nil }); err == nil {
+		t.Fatal("invalid cost model accepted")
+	}
+}
+
+func TestSortRanksByClock(t *testing.T) {
+	clocks, err := Run(3, testCost(), func(r *Rank) error {
+		r.Advance(float64(3 - r.ID()))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := SortRanksByClock(clocks)
+	if ids[0] != 2 || ids[2] != 0 {
+		t.Fatalf("sorted ids = %v", ids)
+	}
+}
+
+func TestRecvFilterNotStale(t *testing.T) {
+	// Regression: a Recv(specific src) must not consume a queued message
+	// from a different sender just because the PREVIOUS Recv's filter
+	// matched it. Rank 0 first receives from 2, then from 1 — with rank
+	// 2's second message already queued.
+	_, err := Run(3, testCost(), func(r *Rank) error {
+		switch r.ID() {
+		case 2:
+			r.Send(0, 7, []byte("two-a"))
+			r.Send(0, 7, []byte("two-b"))
+		case 1:
+			r.Advance(1) // arrives later than both of rank 2's
+			r.Send(0, 7, []byte("one"))
+		case 0:
+			data, from, _ := r.Recv(2, 7)
+			if from != 2 || string(data) != "two-a" {
+				return fmt.Errorf("first recv got %q from %d", data, from)
+			}
+			data, from, _ = r.Recv(1, 7) // two-b is queued but must NOT match
+			if from != 1 || string(data) != "one" {
+				return fmt.Errorf("second recv got %q from %d (stale filter)", data, from)
+			}
+			data, from, _ = r.Recv(2, 7)
+			if string(data) != "two-b" {
+				return fmt.Errorf("third recv got %q from %d", data, from)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYieldPreservesTimeOrder(t *testing.T) {
+	// Two ranks issue storage accesses in loops; with Yield between
+	// iterations the single-channel storage must serve them in virtual-
+	// time order, so both finish at (approximately) the same time instead
+	// of one queueing entirely behind the other.
+	fs := vfs.MustNew(vfs.Profile{Name: "t", Latency: 0.1, Bandwidth: 1e9, Channels: 1})
+	clocks, err := Run(2, testCost(), func(r *Rank) error {
+		for i := 0; i < 5; i++ {
+			r.IO(fs, 10)
+			r.Yield()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 ops × 0.1s on one channel = 1.0s total, interleaved fairly:
+	// both ranks end within one op of each other.
+	a, b := clocks[0].Now(), clocks[1].Now()
+	if a > b {
+		a, b = b, a
+	}
+	if b < 0.9 {
+		t.Fatalf("ops not serialized: max clock %g", b)
+	}
+	if b-a > 0.11 {
+		t.Fatalf("interleaving unfair: %g vs %g", a, b)
+	}
+}
+
+func TestHeterogeneousSpeeds(t *testing.T) {
+	cfg := Config{Cost: testCost(), Speeds: []float64{1, 3}}
+	clocks, err := RunConfig(2, cfg, func(r *Rank) error {
+		r.Compute(1000) // 1ms at baseline speed
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(clocks[0].Now(), 1e-3) {
+		t.Fatalf("baseline rank clock %g", clocks[0].Now())
+	}
+	if !close(clocks[1].Now(), 3e-3) {
+		t.Fatalf("slow rank clock %g, want 3ms", clocks[1].Now())
+	}
+	// Negative speeds rejected.
+	bad := Config{Cost: testCost(), Speeds: []float64{-1}}
+	if _, err := RunConfig(1, bad, func(*Rank) error { return nil }); err == nil {
+		t.Fatal("negative speed accepted")
+	}
+	// Speed query API.
+	_, err = RunConfig(2, cfg, func(r *Rank) error {
+		want := 1.0
+		if r.ID() == 1 {
+			want = 3
+		}
+		if r.Speed() != want {
+			return fmt.Errorf("rank %d speed %g", r.ID(), r.Speed())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveOpMismatchPanics(t *testing.T) {
+	_, err := Run(2, testCost(), func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Barrier()
+		} else {
+			r.Bcast(0, nil) // different collective concurrently: protocol bug
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("mismatched collectives not diagnosed")
+	}
+}

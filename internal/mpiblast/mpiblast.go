@@ -1,0 +1,487 @@
+// Package mpiblast implements the baseline parallel BLAST the paper starts
+// from (mpiBLAST 1.2.1's architecture):
+//
+//   - the database is PRE-PARTITIONED into physical fragment files
+//     (mpiformatdb); the fragments live on the shared file system;
+//   - a master greedily assigns unsearched fragments to idle workers;
+//   - each worker COPIES its fragment's files to node-local storage (or to
+//     shared scratch space when the platform exposes no local disks, as on
+//     the paper's Altix) before searching;
+//   - result merging is serialized through the master: workers submit
+//     local result alignments, the master sorts them and then FETCHES the
+//     alignment data of every selected hit from its owning worker with one
+//     request/reply round trip per hit, formats everything itself, and
+//     writes the single output file alone.
+//
+// Every one of those design points is a cost the pioBLAST engine
+// (internal/core) removes; this package exists so each figure can compare
+// the two.
+package mpiblast
+
+import (
+	"bytes"
+	"fmt"
+
+	"parblast/internal/blast"
+	"parblast/internal/engine"
+	"parblast/internal/formatdb"
+	"parblast/internal/mpi"
+	"parblast/internal/mpiio"
+	"parblast/internal/seq"
+	"parblast/internal/simtime"
+	"parblast/internal/vfs"
+)
+
+// Message tags (all below the mpiio-reserved space).
+const (
+	tagWorkReq = 1
+	tagAssign  = 2
+	tagResults = 3
+	tagFetch   = 4
+	tagHitData = 5
+	tagRelease = 6
+)
+
+// jobMeta is the broadcast that seeds every worker.
+type jobMeta struct {
+	Queries   engine.WireQueries
+	Title     string
+	Kind      seq.Kind
+	NumSeqs   int
+	TotalLen  int64
+	FragBases []string
+}
+
+type fetchKey struct {
+	Query int
+	OID   int
+}
+
+// resultsMsg is one worker's per-(query, fragment) result submission. As in
+// mpiBLAST, it carries the LOCAL RESULT ALIGNMENTS themselves (coordinates,
+// scores, traces — everything except the subject residues the output
+// formatter needs, which the master fetches later per selected hit).
+// pioBLAST's equivalent message carries only flat metadata; this asymmetry
+// is the §3.2 message-volume reduction.
+type resultsMsg struct {
+	Query    int
+	Fragment int
+	Worker   int
+	Work     blast.WorkCounters
+	Hits     []engine.WireHit // residues stripped
+}
+
+func (m *resultsMsg) encode() []byte {
+	var w engine.Writer
+	w.Int(int64(m.Query))
+	w.Int(int64(m.Fragment))
+	w.Int(int64(m.Worker))
+	engine.EncodeWork(&w, m.Work)
+	w.Uint(uint64(len(m.Hits)))
+	for _, h := range m.Hits {
+		engine.EncodeWireHit(&w, h)
+	}
+	return w.Bytes()
+}
+
+func decodeResultsMsg(data []byte) (resultsMsg, error) {
+	r := engine.NewReader(data)
+	m := resultsMsg{
+		Query:    int(r.Int()),
+		Fragment: int(r.Int()),
+		Worker:   int(r.Int()),
+		Work:     engine.DecodeWork(r),
+	}
+	n := int(r.Uint())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		m.Hits = append(m.Hits, engine.DecodeWireHit(r))
+	}
+	return m, r.Err()
+}
+
+func (k fetchKey) encode() []byte {
+	var w engine.Writer
+	w.Int(int64(k.Query))
+	w.Int(int64(k.OID))
+	return w.Bytes()
+}
+
+func decodeFetchKey(data []byte) (fetchKey, error) {
+	r := engine.NewReader(data)
+	k := fetchKey{Query: int(r.Int()), OID: int(r.Int())}
+	return k, r.Err()
+}
+
+// PrepareFragments runs the mpiformatdb step: it physically fragments the
+// formatted database into n standalone fragment databases on the shared
+// file system and returns their base names. The paper counts this as
+// operational overhead OUTSIDE the timed run (it must be redone whenever
+// the worker count outgrows the fragment count).
+func PrepareFragments(fs *vfs.FS, dbBase string, n int) ([]string, error) {
+	db, err := formatdb.Open(fs, dbBase)
+	if err != nil {
+		return nil, err
+	}
+	frags, err := db.PhysicalFragment(fs, n)
+	if err != nil {
+		return nil, err
+	}
+	bases := make([]string, len(frags))
+	for i, f := range frags {
+		bases[i] = f.Base
+	}
+	return bases, nil
+}
+
+// Options selects baseline variants.
+type Options struct {
+	// FetchWindow pipelines the master's per-hit fetch phase: up to this
+	// many requests are kept in flight instead of strictly one
+	// request/reply at a time (the 1.2.1 behaviour the paper measured).
+	// 0 or 1 keeps the faithful serial fetch. This is an ablation: it
+	// quantifies how much of the baseline's output time is pure round-trip
+	// serialization versus master-side processing.
+	FetchWindow int
+}
+
+// Run executes the baseline engine on nprocs ranks (rank 0 is the master;
+// workers are 1..nprocs-1). nodes[i] is rank i's storage view. The physical
+// fragments must already exist (PrepareFragments).
+func Run(nodes []*vfs.Node, nprocs int, cost simtime.CostModel, job *engine.Job) (engine.RunResult, error) {
+	return RunConfig(nodes, nprocs, mpi.Config{Cost: cost}, job)
+}
+
+// RunOpts is RunConfig with baseline variant options.
+func RunOpts(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, opts Options) (engine.RunResult, error) {
+	return runConfig(nodes, nprocs, cfg, job, opts)
+}
+
+// RunConfig is Run with an explicit MPI configuration (heterogeneity,
+// tracing).
+func RunConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job) (engine.RunResult, error) {
+	return runConfig(nodes, nprocs, cfg, job, Options{})
+}
+
+func runConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, opts Options) (engine.RunResult, error) {
+	if err := job.Validate(); err != nil {
+		return engine.RunResult{}, err
+	}
+	if nprocs < 2 {
+		return engine.RunResult{}, fmt.Errorf("mpiblast: need ≥2 ranks (1 master + workers), got %d", nprocs)
+	}
+	if len(nodes) < nprocs {
+		return engine.RunResult{}, fmt.Errorf("mpiblast: %d nodes for %d ranks", len(nodes), nprocs)
+	}
+	shared := nodes[0].Shared
+	db, err := formatdb.Open(shared, job.DBBase)
+	if err != nil {
+		return engine.RunResult{}, err
+	}
+	nFrags := job.Fragments
+	if nFrags == 0 {
+		nFrags = nprocs - 1 // natural partitioning
+	}
+	fragBases := make([]string, nFrags)
+	for i := range fragBases {
+		fragBases[i] = fmt.Sprintf("%s.frag%03d", job.DBBase, i)
+		if _, err := shared.Open(formatdb.IndexPath(fragBases[i])); err != nil {
+			return engine.RunResult{}, fmt.Errorf("mpiblast: fragment %d missing (run PrepareFragments): %w", i, err)
+		}
+	}
+
+	meta := jobMeta{
+		Queries:   engine.PackQueries(job.Queries),
+		Title:     db.Title,
+		Kind:      db.Kind,
+		NumSeqs:   db.NumSeqs,
+		TotalLen:  db.TotalResidues,
+		FragBases: fragBases,
+	}
+
+	if cfg.Comm == nil {
+		cfg.Comm = mpi.NewCommStats(nprocs)
+	}
+	clocks, err := mpi.RunConfig(nprocs, cfg, func(r *mpi.Rank) error {
+		if r.ID() == 0 {
+			return runMaster(r, nodes[0], job, meta, opts)
+		}
+		return runWorker(r, nodes[r.ID()], job.Options)
+	})
+	if err != nil {
+		return engine.RunResult{}, err
+	}
+	var outBytes int64
+	if f, err := shared.Open(job.OutputPath); err == nil {
+		outBytes = f.Size()
+	}
+	res := engine.Summarize(clocks, outBytes)
+	res.CommBytes, res.ShuffleBytes, res.CommMessages = cfg.Comm.Totals()
+	return res, nil
+}
+
+func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, opts Options) error {
+	r.SetPhase(simtime.PhaseOther)
+	r.Advance(r.Cost().SetupCost)
+	r.Bcast(0, engine.EncodeGob(meta))
+
+	workers := r.Size() - 1
+	nFrags := len(meta.FragBases)
+	nQueries := len(meta.Queries.IDs)
+
+	// While the workers copy and search, the master serves assignments and
+	// collects result metadata — mostly waiting.
+	r.SetPhase(simtime.PhaseIdle)
+	type masterHit struct {
+		res    *blast.SubjectResult
+		worker int
+	}
+	type qstate struct {
+		hits []masterHit
+		work blast.WorkCounters
+	}
+	queries := make([]qstate, nQueries)
+	nextFrag := 0
+	doneWorkers := 0
+	resultMsgs := 0
+	for doneWorkers < workers || resultMsgs < nFrags*nQueries {
+		data, from, tag := r.Recv(mpi.AnySource, mpi.AnyTag)
+		switch tag {
+		case tagWorkReq:
+			if nextFrag < nFrags {
+				r.Send(from, tagAssign, engine.EncodeInt(nextFrag))
+				nextFrag++
+			} else {
+				r.Send(from, tagAssign, engine.EncodeInt(-1))
+				doneWorkers++
+			}
+		case tagResults:
+			msg, err := decodeResultsMsg(data)
+			if err != nil {
+				return err
+			}
+			// Splicing a fragment's alignments into the master's result
+			// structures is real work on the master's critical path.
+			r.SetPhase(simtime.PhaseOutput)
+			r.Advance(r.Cost().ResultMsgCost + float64(len(msg.Hits))*r.Cost().MergeItemCost)
+			st := &queries[msg.Query]
+			for _, wh := range msg.Hits {
+				res, _ := wh.Unpack()
+				st.hits = append(st.hits, masterHit{res: res, worker: msg.Worker})
+			}
+			st.work.Add(msg.Work)
+			r.SetPhase(simtime.PhaseIdle)
+			resultMsgs++
+		default:
+			return fmt.Errorf("mpiblast: master got unexpected tag %d from %d", tag, from)
+		}
+	}
+
+	// Serialized result merging and output (§2.2 / Figure 2 right side).
+	r.SetPhase(simtime.PhaseOutput)
+	searcher, err := blast.NewSearcher(job.Options)
+	if err != nil {
+		return err
+	}
+	maxTargets := searcher.Options().MaxTargetSeqs
+	out := mpiio.OpenOrCreate(r, node.Shared, job.OutputPath)
+	dbInfo := blast.DBInfo{Title: meta.Title, NumSeqs: meta.NumSeqs, TotalLen: meta.TotalLen}
+	var off int64
+	for qi, q := range job.Queries {
+		st := &queries[qi]
+		r.Advance(float64(len(st.hits)) * r.Cost().MergeItemCost)
+		byOID := make(map[int]masterHit, len(st.hits))
+		metas := make([]engine.HitMeta, 0, len(st.hits))
+		for _, mh := range st.hits {
+			byOID[mh.res.OID] = mh
+			metas = append(metas, engine.MetaFromResult(mh.worker, mh.res, 0))
+		}
+		merged := engine.MergeHits(metas, maxTargets)
+
+		outFormat := job.Options.OutFormat
+		var text bytes.Buffer
+		text.WriteString(blast.RenderHeader(outFormat, meta.Kind, q, dbInfo))
+		text.WriteString(blast.RenderSummary(outFormat, engine.SummaryResults(merged)))
+		// Fetch every selected hit's sequence information from its worker —
+		// one serial request/reply per hit in faithful mode (the bottleneck
+		// the paper measured at >40% of mpiBLAST's output time), or with a
+		// sliding window of outstanding requests in the pipelined ablation.
+		window := opts.FetchWindow
+		if window < 1 {
+			window = 1
+		}
+		sent := 0
+		for done := 0; done < len(merged); done++ {
+			for sent < len(merged) && sent-done < window {
+				h := merged[sent]
+				r.Send(h.Worker, tagFetch, fetchKey{Query: qi, OID: h.OID}.encode())
+				sent++
+			}
+			h := merged[done]
+			residues, _, _ := r.Recv(h.Worker, tagHitData)
+			mh := byOID[h.OID]
+			block := blast.RenderHit(outFormat, q, residues, mh.res, job.Options.Matrix)
+			r.FormatCost(int64(len(block)))
+			r.Advance(r.Cost().FetchItemCost)
+			text.WriteString(block)
+		}
+		space := engine.SearchSpaceFor(searcher, q.Len(), meta.TotalLen, meta.NumSeqs)
+		text.WriteString(blast.RenderFooter(outFormat, searcher.GappedParams(), space, st.work))
+		r.FormatCost(int64(text.Len()) / 8) // header/summary/footer rendering
+		out.WriteAt(text.Bytes(), off)
+		off += int64(text.Len())
+	}
+	for w := 1; w <= workers; w++ {
+		r.Send(w, tagRelease, nil)
+	}
+	r.SetPhase(simtime.PhaseOther)
+	r.Barrier()
+	return nil
+}
+
+func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
+	r.SetPhase(simtime.PhaseOther)
+	r.Advance(r.Cost().SetupCost)
+	var meta jobMeta
+	if err := engine.DecodeGob(r.Bcast(0, nil), &meta); err != nil {
+		return err
+	}
+	queries := meta.Queries.Unpack()
+	searcher, err := blast.NewSearcher(opts)
+	if err != nil {
+		return err
+	}
+	ctx := searcher.NewContext()
+
+	// Local staging target: node-local disk, or shared scratch when the
+	// platform has none (the paper's Altix configuration).
+	staging := node.Local
+	prefix := ""
+	if staging == nil {
+		staging = node.Shared
+		prefix = fmt.Sprintf("scratch/rank%03d/", r.ID())
+	}
+
+	// hits maps (query, OID) to the subject residues the master may fetch.
+	hits := make(map[fetchKey][]byte)
+	searchedAny := false
+	for {
+		// Waiting for an assignment is startup time before the first
+		// fragment; afterwards the wait queues behind the master's result
+		// ingestion and belongs to the output (merging) phase.
+		if searchedAny {
+			r.SetPhase(simtime.PhaseOutput)
+		} else {
+			r.SetPhase(simtime.PhaseOther)
+		}
+		r.Send(0, tagWorkReq, nil)
+		data, _, _ := r.Recv(0, tagAssign)
+		fragID, err := engine.DecodeInt(data)
+		if err != nil {
+			return err
+		}
+		if fragID < 0 {
+			break
+		}
+		searchedAny = true
+		base := meta.FragBases[fragID]
+
+		// Copy stage: shared FS → local staging, file by file.
+		r.SetPhase(simtime.PhaseCopy)
+		for _, path := range formatdb.FragmentFiles(base) {
+			src, err := mpiio.Open(r, node.Shared, path)
+			if err != nil {
+				return err
+			}
+			content := src.ReadAt(0, src.Size())
+			dst := mpiio.OpenOrCreate(r, staging, prefix+path)
+			dst.WriteAt(content, 0)
+		}
+
+		// Search stage. The fragment is imported from the staged copy;
+		// NCBI BLAST memory-maps the fragment files, so this I/O is
+		// embedded in search time (the paper observes exactly that).
+		r.SetPhase(simtime.PhaseSearch)
+		frag, err := loadFragment(r, staging, prefix+base)
+		if err != nil {
+			return err
+		}
+		for qi, q := range queries {
+			if err := ctx.SetQuery(q); err != nil {
+				return err
+			}
+			space := engine.SearchSpaceFor(searcher, q.Len(), meta.TotalLen, meta.NumSeqs)
+			res, err := ctx.SearchFragment(frag, space)
+			if err != nil {
+				return err
+			}
+			r.Compute(res.Work.Units())
+			msg := resultsMsg{Query: qi, Fragment: fragID, Worker: r.ID(), Work: res.Work}
+			for _, hit := range res.Hits {
+				msg.Hits = append(msg.Hits, engine.PackHit(hit, nil))
+				hits[fetchKey{Query: qi, OID: hit.OID}] = fragSubject(frag, hit.OID)
+			}
+			r.SetPhase(simtime.PhaseOutput)
+			r.Send(0, tagResults, msg.encode())
+			r.SetPhase(simtime.PhaseSearch)
+			r.Yield()
+		}
+	}
+
+	// Fetch service: answer the master's per-hit data requests until
+	// released. All waiting here is result-processing (output) time.
+	r.SetPhase(simtime.PhaseOutput)
+	for {
+		data, _, tag := r.Recv(0, mpi.AnyTag)
+		if tag == tagRelease {
+			break
+		}
+		key, err := decodeFetchKey(data)
+		if err != nil {
+			return err
+		}
+		residues, ok := hits[key]
+		if !ok {
+			return fmt.Errorf("mpiblast: worker %d asked for unknown hit %+v", r.ID(), key)
+		}
+		r.Send(0, tagHitData, residues)
+	}
+	r.SetPhase(simtime.PhaseOther)
+	r.Barrier()
+	return nil
+}
+
+// loadFragment reads a staged fragment database into memory with charged
+// I/O and wraps it as a kernel fragment.
+func loadFragment(r *mpi.Rank, fs *vfs.FS, base string) (*blast.Fragment, error) {
+	for _, path := range formatdb.FragmentFiles(base) {
+		f, err := mpiio.Open(r, fs, path)
+		if err != nil {
+			return nil, err
+		}
+		f.ReadAt(0, f.Size()) // charge the (mmap-equivalent) input
+	}
+	db, err := formatdb.Open(fs, base)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := db.ReadAll(fs)
+	if err != nil {
+		return nil, err
+	}
+	return engine.FragmentFromRecords(recs), nil
+}
+
+// fragSubject returns the residues of the subject with the given OID.
+func fragSubject(frag *blast.Fragment, oid int) []byte {
+	base := frag.Subjects[0].OID
+	i := oid - base
+	if i >= 0 && i < len(frag.Subjects) && frag.Subjects[i].OID == oid {
+		return frag.Subjects[i].Residues
+	}
+	for k := range frag.Subjects {
+		if frag.Subjects[k].OID == oid {
+			return frag.Subjects[k].Residues
+		}
+	}
+	panic(fmt.Sprintf("mpiblast: OID %d not in fragment", oid))
+}

@@ -1,0 +1,37 @@
+package mpiio
+
+import (
+	"testing"
+
+	"parblast/internal/mpi"
+	"parblast/internal/vfs"
+)
+
+func benchWrite(b *testing.B, profile vfs.Profile, collective bool, n, records, recSize int) {
+	views, datas, _ := interleavedViews(n, records, recSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := vfs.MustNew(profile)
+		_, err := mpi.Run(n, testCost(), func(r *mpi.Rank) error {
+			f := OpenOrCreate(r, fs, "out")
+			if err := f.SetView(views[r.ID()]); err != nil {
+				return err
+			}
+			if collective {
+				return f.WriteCollective(datas[r.ID()])
+			}
+			err := f.WriteIndependent(datas[r.ID()])
+			r.Barrier()
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(records * recSize))
+}
+
+func BenchmarkCollectiveWriteXFS(b *testing.B)  { benchWrite(b, vfs.XFSLike(), true, 8, 256, 512) }
+func BenchmarkCollectiveWriteNFS(b *testing.B)  { benchWrite(b, vfs.NFSLike(), true, 8, 256, 512) }
+func BenchmarkIndependentWriteXFS(b *testing.B) { benchWrite(b, vfs.XFSLike(), false, 8, 256, 512) }
+func BenchmarkIndependentWriteNFS(b *testing.B) { benchWrite(b, vfs.NFSLike(), false, 8, 256, 512) }

@@ -1,0 +1,315 @@
+// Package mpiio implements an MPI-IO-style parallel I/O layer over the
+// simulated cluster storage: shared-file handles, file views (displacement
+// lists), independent reads/writes, and collective writes using the
+// two-phase (aggregator) algorithm that ROMIO made standard.
+//
+// The collective write is a real data-shuffling protocol executed over the
+// simulated MPI runtime: ranks exchange actual bytes with aggregator ranks,
+// and each aggregator issues one large sequential write per contiguous
+// span. Both the data movement and the virtual-time costs therefore emerge
+// from the same code path the paper's §3.3 describes, including the
+// contrast with many small independent strided writes.
+package mpiio
+
+import (
+	"fmt"
+	"sort"
+
+	"parblast/internal/mpi"
+	"parblast/internal/vfs"
+)
+
+// Tag space reserved for the I/O layer's internal messages; engine
+// protocols must stay below this. Mirrors mpi.ShuffleTagBase so that
+// communication accounting can separate shuffle from protocol traffic.
+const tagBase = mpi.ShuffleTagBase
+
+// Segment is one contiguous extent of a file view.
+type Segment struct {
+	Offset int64
+	Length int64
+}
+
+// View is an ordered list of disjoint file extents visible to one rank,
+// the moral equivalent of an MPI file view built from an indexed filetype.
+type View struct {
+	Segments []Segment
+}
+
+// TotalLength sums the segment lengths.
+func (v View) TotalLength() int64 {
+	var n int64
+	for _, s := range v.Segments {
+		n += s.Length
+	}
+	return n
+}
+
+// Validate checks ordering, positivity, and disjointness.
+func (v View) Validate() error {
+	var prevEnd int64 = -1
+	for i, s := range v.Segments {
+		if s.Offset < 0 || s.Length < 0 {
+			return fmt.Errorf("mpiio: segment %d has negative offset/length (%d,%d)", i, s.Offset, s.Length)
+		}
+		if s.Offset < prevEnd {
+			return fmt.Errorf("mpiio: segment %d at %d overlaps or precedes previous end %d", i, s.Offset, prevEnd)
+		}
+		prevEnd = s.Offset + s.Length
+	}
+	return nil
+}
+
+// ContiguousView is the common special case: one extent.
+func ContiguousView(off, length int64) View {
+	return View{Segments: []Segment{{Offset: off, Length: length}}}
+}
+
+// File is a per-rank handle on a shared file.
+type File struct {
+	rank *mpi.Rank
+	fs   *vfs.FS
+	f    *vfs.File
+	view View
+}
+
+// Open returns a handle on an existing file.
+func Open(rank *mpi.Rank, fs *vfs.FS, path string) (*File, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{rank: rank, fs: fs, f: f}, nil
+}
+
+// OpenOrCreate returns a handle, creating the file if needed (every rank of
+// a parallel job opens the shared output file this way).
+func OpenOrCreate(rank *mpi.Rank, fs *vfs.FS, path string) *File {
+	return &File{rank: rank, fs: fs, f: fs.OpenOrCreate(path)}
+}
+
+// Size reports the current file size (metadata only, no time charged).
+func (f *File) Size() int64 { return f.f.Size() }
+
+// SetView installs the rank's file view for subsequent collective writes.
+func (f *File) SetView(v View) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	f.view = v
+	return nil
+}
+
+// View returns the installed view.
+func (f *File) View() View { return f.view }
+
+// ReadAt performs an independent (non-collective) read of n bytes at off,
+// charging the storage cost to the calling rank. Short data at EOF yields
+// a short slice.
+func (f *File) ReadAt(off, n int64) []byte {
+	buf := make([]byte, n)
+	got := f.f.ReadAt(buf, off)
+	f.rank.IO(f.fs, int64(got))
+	return buf[:got]
+}
+
+// WriteAt performs an independent write, charging the calling rank.
+func (f *File) WriteAt(data []byte, off int64) {
+	f.f.WriteAt(data, off)
+	f.rank.IO(f.fs, int64(len(data)))
+}
+
+// WriteIndependent writes data through the rank's view using one
+// independent write per segment — the strided-small-writes pattern the
+// two-phase algorithm exists to avoid. Used as an ablation baseline.
+func (f *File) WriteIndependent(data []byte) error {
+	if int64(len(data)) != f.view.TotalLength() {
+		return fmt.Errorf("mpiio: data length %d != view length %d", len(data), f.view.TotalLength())
+	}
+	var pos int64
+	for _, s := range f.view.Segments {
+		f.WriteAt(data[pos:pos+s.Length], s.Offset)
+		pos += s.Length
+	}
+	return nil
+}
+
+// aggSpan is a covered interval inside an aggregator's domain.
+type aggSpan struct {
+	off  int64
+	data []byte
+}
+
+// WriteCollective writes data through the installed views of ALL ranks as
+// one collective operation. Every rank of the world must call it together
+// (ranks with nothing to write pass an empty view and nil data).
+//
+// Algorithm (two-phase I/O):
+//  1. ranks exchange view bounds to learn the aggregate extent;
+//  2. the extent is partitioned over A aggregator ranks;
+//  3. each rank ships the pieces of its data that land in each
+//     aggregator's domain (real messages, real bytes);
+//  4. each aggregator coalesces what it received and issues one large
+//     sequential write per contiguous span.
+func (f *File) WriteCollective(data []byte) error {
+	if int64(len(data)) != f.view.TotalLength() {
+		return fmt.Errorf("mpiio: data length %d != view length %d", len(data), f.view.TotalLength())
+	}
+	r := f.rank
+	n := r.Size()
+
+	// Phase 0: agree on the aggregate extent.
+	var lo, hi int64 = 1<<62 - 1, -1
+	for _, s := range f.view.Segments {
+		if s.Length == 0 {
+			continue
+		}
+		if s.Offset < lo {
+			lo = s.Offset
+		}
+		if end := s.Offset + s.Length; end > hi {
+			hi = end
+		}
+	}
+	bounds := make([]byte, 16)
+	putI64(bounds[0:], lo)
+	putI64(bounds[8:], hi)
+	all := r.AllGather(bounds)
+	var gLo, gHi int64 = 1<<62 - 1, -1
+	for _, b := range all {
+		l, h := getI64(b[0:]), getI64(b[8:])
+		if h < 0 {
+			continue // that rank writes nothing
+		}
+		if l < gLo {
+			gLo = l
+		}
+		if h > gHi {
+			gHi = h
+		}
+	}
+	if gHi < 0 {
+		return nil // nobody writes anything
+	}
+
+	// Phase 1: choose aggregators — as many as the file system sustains
+	// concurrently, at most the world size.
+	numAgg := f.fs.Profile().Channels
+	if numAgg > n {
+		numAgg = n
+	}
+	if numAgg < 1 {
+		numAgg = 1
+	}
+	extent := gHi - gLo
+	domainOf := func(a int) (int64, int64) {
+		d0 := gLo + extent*int64(a)/int64(numAgg)
+		d1 := gLo + extent*int64(a+1)/int64(numAgg)
+		return d0, d1
+	}
+
+	// Phase 2: ship my data to each aggregator. Message layout:
+	// repeated records of (offset int64, length int64, bytes).
+	myPieces := make([][]byte, numAgg)
+	var pos int64
+	for _, s := range f.view.Segments {
+		chunk := data[pos : pos+s.Length]
+		pos += s.Length
+		// Split the segment across aggregator domains.
+		segOff := s.Offset
+		for len(chunk) > 0 {
+			a := int(int64(numAgg) * (segOff - gLo) / extent)
+			if a >= numAgg {
+				a = numAgg - 1
+			}
+			// Integer flooring can land one domain low at boundaries;
+			// walk up until segOff is strictly inside [d0, d1).
+			_, d1 := domainOf(a)
+			for segOff >= d1 && a < numAgg-1 {
+				a++
+				_, d1 = domainOf(a)
+			}
+			take := int64(len(chunk))
+			if segOff+take > d1 {
+				take = d1 - segOff
+			}
+			rec := make([]byte, 16+take)
+			putI64(rec[0:], segOff)
+			putI64(rec[8:], take)
+			copy(rec[16:], chunk[:take])
+			myPieces[a] = append(myPieces[a], rec...)
+			segOff += take
+			chunk = chunk[take:]
+		}
+	}
+	for a := 0; a < numAgg; a++ {
+		dst := a // aggregator a is rank a
+		if dst == r.ID() {
+			continue // keep local pieces local (no self-message cost)
+		}
+		r.Send(dst, tagBase+1, myPieces[a])
+	}
+
+	// Phase 3: aggregators collect, coalesce, and write.
+	if r.ID() < numAgg {
+		var spans []aggSpan
+		addRecords := func(buf []byte) {
+			for len(buf) > 0 {
+				off := getI64(buf[0:])
+				length := getI64(buf[8:])
+				spans = append(spans, aggSpan{off: off, data: buf[16 : 16+length]})
+				buf = buf[16+length:]
+			}
+		}
+		addRecords(myPieces[r.ID()])
+		for src := 0; src < n; src++ {
+			if src == r.ID() {
+				continue
+			}
+			buf, _, _ := r.Recv(src, tagBase+1)
+			addRecords(buf)
+		}
+		// Coalesce into maximal contiguous runs.
+		sort.Slice(spans, func(i, j int) bool { return spans[i].off < spans[j].off })
+		i := 0
+		for i < len(spans) {
+			runStart := spans[i].off
+			var runData []byte
+			expected := runStart
+			for i < len(spans) && spans[i].off == expected {
+				runData = append(runData, spans[i].data...)
+				expected += int64(len(spans[i].data))
+				r.MemCopy(int64(len(spans[i].data)))
+				i++
+			}
+			f.f.WriteAt(runData, runStart)
+			r.IO(f.fs, int64(len(runData)))
+		}
+	}
+
+	// Phase 4: the collective completes when the slowest participant is
+	// done (MPI_File_write_all is collective).
+	r.Barrier()
+	return nil
+}
+
+// ReadContiguous reads the rank's contiguous range [off, off+n) with one
+// independent read — pioBLAST's input-stage pattern ("each worker reads one
+// contiguous range from every shared database file").
+func (f *File) ReadContiguous(off, n int64) []byte {
+	return f.ReadAt(off, n)
+}
+
+func putI64(b []byte, v int64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getI64(b []byte) int64 {
+	var v int64
+	for i := 0; i < 8; i++ {
+		v |= int64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,130 @@
+package seq
+
+import "fmt"
+
+// Genetic-code translation: the substrate behind the translated search
+// modes of the BLAST family (blastx translates a DNA query in six reading
+// frames and searches the translations against a protein database).
+
+// standardCode is the standard genetic code (NCBI translation table 1),
+// indexed by base1*16 + base2*4 + base3 with A=0 C=1 G=2 T=3.
+// '*' marks stop codons.
+var standardCode = [64]byte{
+	// AAA AAC AAG AAT
+	'K', 'N', 'K', 'N',
+	// ACA ACC ACG ACT
+	'T', 'T', 'T', 'T',
+	// AGA AGC AGG AGT
+	'R', 'S', 'R', 'S',
+	// ATA ATC ATG ATT
+	'I', 'I', 'M', 'I',
+	// CAA CAC CAG CAT
+	'Q', 'H', 'Q', 'H',
+	// CCA CCC CCG CCT
+	'P', 'P', 'P', 'P',
+	// CGA CGC CGG CGT
+	'R', 'R', 'R', 'R',
+	// CTA CTC CTG CTT
+	'L', 'L', 'L', 'L',
+	// GAA GAC GAG GAT
+	'E', 'D', 'E', 'D',
+	// GCA GCC GCG GCT
+	'A', 'A', 'A', 'A',
+	// GGA GGC GGG GGT
+	'G', 'G', 'G', 'G',
+	// GTA GTC GTG GTT
+	'V', 'V', 'V', 'V',
+	// TAA TAC TAG TAT
+	'*', 'Y', '*', 'Y',
+	// TCA TCC TCG TCT
+	'S', 'S', 'S', 'S',
+	// TGA TGC TGG TGT
+	'*', 'C', 'W', 'C',
+	// TTA TTC TTG TTT
+	'L', 'F', 'L', 'F',
+}
+
+// TranslateCodon translates three DNA residue codes into a protein residue
+// code. Any ambiguous base yields the protein wildcard.
+func TranslateCodon(b1, b2, b3 byte) byte {
+	if b1 >= 4 || b2 >= 4 || b3 >= 4 {
+		return ProteinAlphabet.Wildcard()
+	}
+	return ProteinAlphabet.Code(standardCode[int(b1)*16+int(b2)*4+int(b3)])
+}
+
+// ReverseComplement returns the reverse complement of DNA residue codes
+// (A↔T, C↔G; N stays N).
+func ReverseComplement(dna []byte) []byte {
+	out := make([]byte, len(dna))
+	for i, c := range dna {
+		var rc byte
+		switch c {
+		case 0: // A
+			rc = 3
+		case 1: // C
+			rc = 2
+		case 2: // G
+			rc = 1
+		case 3: // T
+			rc = 0
+		default:
+			rc = DNAAlphabet.Wildcard()
+		}
+		out[len(dna)-1-i] = rc
+	}
+	return out
+}
+
+// Frames enumerates the six translation frames: +1, +2, +3, -1, -2, -3.
+var Frames = []int{1, 2, 3, -1, -2, -3}
+
+// Translate translates DNA residue codes in the given frame (±1, ±2, ±3)
+// into protein residue codes. Stop codons become '*' residues, which the
+// protein scoring matrix penalizes heavily — alignments naturally break
+// there, as in NCBI's translated searches.
+func Translate(dna []byte, frame int) ([]byte, error) {
+	if frame == 0 || frame > 3 || frame < -3 {
+		return nil, fmt.Errorf("seq: invalid reading frame %d", frame)
+	}
+	src := dna
+	if frame < 0 {
+		src = ReverseComplement(dna)
+		frame = -frame
+	}
+	start := frame - 1
+	if start >= len(src) {
+		return nil, nil
+	}
+	n := (len(src) - start) / 3
+	out := make([]byte, 0, n)
+	for i := start; i+3 <= len(src); i += 3 {
+		out = append(out, TranslateCodon(src[i], src[i+1], src[i+2]))
+	}
+	return out, nil
+}
+
+// TranslateAll returns the six-frame translation of a DNA sequence, keyed
+// by frame in the order of Frames.
+func TranslateAll(dna *Sequence) (map[int]*Sequence, error) {
+	if dna.Alpha.Kind() != DNA {
+		return nil, fmt.Errorf("seq: TranslateAll needs a DNA sequence, got %s", dna.Alpha.Kind())
+	}
+	out := make(map[int]*Sequence, 6)
+	for _, frame := range Frames {
+		prot, err := Translate(dna.Residues, frame)
+		if err != nil {
+			return nil, err
+		}
+		if len(prot) == 0 {
+			continue
+		}
+		out[frame] = &Sequence{
+			ID:          fmt.Sprintf("%s|frame%+d", dna.ID, frame),
+			Description: dna.Description,
+			Residues:    prot,
+			Alpha:       ProteinAlphabet,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package seq
+
+import (
+	"bytes"
+	"testing"
+)
+
+// encodeDNA converts DNA letters to codes.
+func encodeDNA(t *testing.T, letters string) []byte {
+	t.Helper()
+	codes, err := DNAAlphabet.Encode([]byte(letters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return codes
+}
+
+func TestTranslateCodon(t *testing.T) {
+	cases := map[string]byte{
+		"ATG": 'M', "TGG": 'W', "TAA": '*', "TAG": '*', "TGA": '*',
+		"AAA": 'K', "TTT": 'F', "GGG": 'G', "GCT": 'A',
+	}
+	for codon, aa := range cases {
+		c := encodeDNA(t, codon)
+		got := TranslateCodon(c[0], c[1], c[2])
+		if got != ProteinAlphabet.Code(aa) {
+			t.Fatalf("%s → %c, want %c", codon, ProteinAlphabet.Letter(got), aa)
+		}
+	}
+	// Ambiguity → wildcard.
+	n := DNAAlphabet.Wildcard()
+	if TranslateCodon(n, 0, 0) != ProteinAlphabet.Wildcard() {
+		t.Fatal("ambiguous codon should translate to X")
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	in := encodeDNA(t, "ACGTN")
+	rc := ReverseComplement(in)
+	want := encodeDNA(t, "NACGT")
+	if !bytes.Equal(rc, want) {
+		t.Fatalf("rc = %v, want %v", rc, want)
+	}
+	// Involution (on unambiguous input).
+	u := encodeDNA(t, "ACGTACGT")
+	if !bytes.Equal(ReverseComplement(ReverseComplement(u)), u) {
+		t.Fatal("reverse complement is not an involution")
+	}
+}
+
+func TestTranslateFrames(t *testing.T) {
+	// ATG GCT TGG TAA = M A W *
+	dna := encodeDNA(t, "ATGGCTTGGTAA")
+	f1, err := Translate(dna, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(ProteinAlphabet.Decode(f1)); got != "MAW*" {
+		t.Fatalf("frame +1 = %q", got)
+	}
+	f2, _ := Translate(dna, 2)
+	if len(f2) != 3 {
+		t.Fatalf("frame +2 length %d", len(f2))
+	}
+	// Frame -1 translates the reverse complement: TTACCAAGCCAT → L P S H.
+	fm1, _ := Translate(dna, -1)
+	if got := string(ProteinAlphabet.Decode(fm1)); got != "LPSH" {
+		t.Fatalf("frame -1 = %q", got)
+	}
+	if _, err := Translate(dna, 0); err == nil {
+		t.Fatal("frame 0 accepted")
+	}
+	if _, err := Translate(dna, 4); err == nil {
+		t.Fatal("frame 4 accepted")
+	}
+	// Short input: frame start beyond sequence.
+	short := encodeDNA(t, "AC")
+	out, err := Translate(short, 3)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("short input: %v %v", out, err)
+	}
+}
+
+func TestTranslateAll(t *testing.T) {
+	dna := &Sequence{ID: "d1", Residues: encodeDNA(t, "ATGGCTTGGAAATTTGGG"), Alpha: DNAAlphabet}
+	frames, err := TranslateAll(dna)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 6 {
+		t.Fatalf("%d frames", len(frames))
+	}
+	for f, s := range frames {
+		if s.Alpha != ProteinAlphabet {
+			t.Fatalf("frame %d not protein", f)
+		}
+		if s.ID == dna.ID {
+			t.Fatal("frame ID should be annotated")
+		}
+	}
+	prot := &Sequence{ID: "p", Residues: []byte{0, 1}, Alpha: ProteinAlphabet}
+	if _, err := TranslateAll(prot); err == nil {
+		t.Fatal("protein input accepted")
+	}
+}

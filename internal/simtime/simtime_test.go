@@ -1,0 +1,107 @@
+package simtime
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatal("new clock not at zero")
+	}
+	c.SetPhase(PhaseSearch)
+	c.Advance(2.5)
+	c.SetPhase(PhaseOutput)
+	c.Advance(1.5)
+	if c.Now() != 4.0 {
+		t.Fatalf("now = %g", c.Now())
+	}
+	if c.Bucket(PhaseSearch) != 2.5 || c.Bucket(PhaseOutput) != 1.5 {
+		t.Fatalf("buckets wrong: %v", c.Buckets())
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.SetPhase(PhaseOutput)
+	c.AdvanceTo(3)
+	c.AdvanceTo(1) // in the past: no-op
+	if c.Now() != 3 {
+		t.Fatalf("now = %g", c.Now())
+	}
+	if c.Bucket(PhaseOutput) != 3 {
+		t.Fatal("waiting not charged to current phase")
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestBreakdown(t *testing.T) {
+	c := NewClock()
+	c.SetPhase(PhaseCopy)
+	c.Advance(1)
+	c.SetPhase(PhaseSearch)
+	c.Advance(10)
+	c.SetPhase(PhaseOutput)
+	c.Advance(4)
+	b := BreakdownOf(c)
+	if b.Total != 15 || b.Search != 10 || b.NonSearch() != 5 {
+		t.Fatalf("breakdown wrong: %+v", b)
+	}
+	if !strings.Contains(b.String(), "search=10.0") {
+		t.Fatalf("breakdown string: %s", b)
+	}
+}
+
+func TestMaxBreakdown(t *testing.T) {
+	fast := NewClock()
+	fast.SetPhase(PhaseSearch)
+	fast.Advance(5)
+	slow := NewClock()
+	slow.SetPhase(PhaseSearch)
+	slow.Advance(7)
+	slow.SetPhase(PhaseOutput)
+	slow.Advance(2)
+	b := MaxBreakdown([]*Clock{fast, slow})
+	if b.Total != 9 || b.Search != 7 {
+		t.Fatalf("max breakdown picked wrong rank: %+v", b)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := DefaultCostModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.MessageCost(0) != m.NetLatency {
+		t.Fatal("zero-byte message should cost one latency")
+	}
+	if m.MessageCost(1000) <= m.MessageCost(10) {
+		t.Fatal("message cost not increasing in size")
+	}
+	bad := m
+	bad.NetBandwidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestSortedPhases(t *testing.T) {
+	c := NewClock()
+	c.SetPhase(PhaseSearch)
+	c.Advance(1)
+	c.SetPhase(PhaseCopy)
+	c.Advance(1)
+	got := SortedPhases(c)
+	if len(got) != 2 || got[0] != PhaseCopy || got[1] != PhaseSearch {
+		t.Fatalf("phases = %v", got)
+	}
+}

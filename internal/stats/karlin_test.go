@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"parblast/internal/matrix"
+)
+
+func TestComputeUngappedMatchesPublishedBlosum62(t *testing.T) {
+	p, err := ComputeUngapped(matrix.BLOSUM62, RobinsonFrequencies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NCBI's published ungapped BLOSUM62 parameters: λ=0.3176, H=0.4012.
+	if math.Abs(p.Lambda-Blosum62Ungapped.Lambda) > 0.005 {
+		t.Fatalf("computed λ=%.4f, published %.4f", p.Lambda, Blosum62Ungapped.Lambda)
+	}
+	if math.Abs(p.H-Blosum62Ungapped.H) > 0.02 {
+		t.Fatalf("computed H=%.4f, published %.4f", p.H, Blosum62Ungapped.H)
+	}
+	// K is approximated; demand the right order of magnitude.
+	if p.K < Blosum62Ungapped.K/2 || p.K > Blosum62Ungapped.K*2 {
+		t.Fatalf("computed K=%.4f too far from published %.4f", p.K, Blosum62Ungapped.K)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeUngappedDNA(t *testing.T) {
+	p, err := ComputeUngapped(matrix.DNADefault, UniformDNAFrequencies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// +1/−3 published ungapped λ = 1.374.
+	if math.Abs(p.Lambda-DNAUngapped1_3.Lambda) > 0.01 {
+		t.Fatalf("computed DNA λ=%.4f, published %.4f", p.Lambda, DNAUngapped1_3.Lambda)
+	}
+}
+
+func TestComputeUngappedRejectsBadInputs(t *testing.T) {
+	// Too few frequencies.
+	if _, err := ComputeUngapped(matrix.BLOSUM62, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("short frequency vector accepted")
+	}
+	// Frequencies that do not sum to 1.
+	bad := make([]float64, 20)
+	for i := range bad {
+		bad[i] = 0.1
+	}
+	if _, err := ComputeUngapped(matrix.BLOSUM62, bad); err == nil {
+		t.Fatal("non-normalized frequencies accepted")
+	}
+	// A match-only matrix has positive expected score: no λ exists.
+	pos := matrix.NewDNA(1, 1)
+	if _, err := ComputeUngapped(pos, UniformDNAFrequencies); err == nil {
+		t.Fatal("all-positive matrix accepted")
+	}
+}
+
+func TestRobinsonFrequenciesNormalized(t *testing.T) {
+	sum := 0.0
+	for _, f := range RobinsonFrequencies {
+		if f <= 0 {
+			t.Fatal("non-positive frequency")
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 0.005 {
+		t.Fatalf("Robinson frequencies sum to %.4f", sum)
+	}
+	if len(RobinsonFrequencies) != 20 {
+		t.Fatalf("%d frequencies", len(RobinsonFrequencies))
+	}
+}

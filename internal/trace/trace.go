@@ -1,0 +1,162 @@
+// Package trace records per-rank phase timelines from the cluster
+// simulation and renders them as ASCII Gantt charts — the observability
+// layer for understanding where a parallel run's virtual time goes
+// (which ranks idle, when phases overlap, where the critical path is).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Span is one contiguous interval a rank spent in one phase.
+type Span struct {
+	Phase    string
+	From, To float64
+}
+
+// Collector accumulates phase spans from many ranks. It is safe for
+// concurrent use (ranks report from their own goroutines).
+type Collector struct {
+	mu    sync.Mutex
+	ranks map[int][]Span
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{ranks: make(map[int][]Span)}
+}
+
+// Record adds one interval to a rank's timeline, coalescing it with the
+// previous span when the phase continues.
+func (c *Collector) Record(rank int, phase string, from, to float64) {
+	if to <= from {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	spans := c.ranks[rank]
+	if n := len(spans); n > 0 && spans[n-1].Phase == phase && spans[n-1].To >= from {
+		if to > spans[n-1].To {
+			spans[n-1].To = to
+		}
+		c.ranks[rank] = spans
+		return
+	}
+	c.ranks[rank] = append(spans, Span{Phase: phase, From: from, To: to})
+}
+
+// Observer returns a recording function bound to one rank, in the shape
+// simtime.Clock.SetObserver expects.
+func (c *Collector) Observer(rank int) func(phase string, from, to float64) {
+	return func(phase string, from, to float64) {
+		c.Record(rank, phase, from, to)
+	}
+}
+
+// Ranks returns the recorded rank ids in order.
+func (c *Collector) Ranks() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.ranks))
+	for r := range c.ranks {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Spans returns a copy of one rank's timeline.
+func (c *Collector) Spans(rank int) []Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Span(nil), c.ranks[rank]...)
+}
+
+// End returns the latest recorded time.
+func (c *Collector) End() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	end := 0.0
+	for _, spans := range c.ranks {
+		if n := len(spans); n > 0 && spans[n-1].To > end {
+			end = spans[n-1].To
+		}
+	}
+	return end
+}
+
+// phaseGlyphs maps phase names to single-character glyphs for the chart.
+var phaseGlyphs = map[string]byte{
+	"copy":   'C',
+	"input":  'I',
+	"search": 'S',
+	"output": 'O',
+	"other":  '-',
+	"idle":   ' ',
+}
+
+// Glyph returns the chart character for a phase (first letter otherwise).
+func Glyph(phase string) byte {
+	if g, ok := phaseGlyphs[phase]; ok {
+		return g
+	}
+	if phase == "" {
+		return '?'
+	}
+	return phase[0]
+}
+
+// Render writes an ASCII Gantt chart: one row per rank, width columns of
+// phase glyphs spanning [0, End()].
+func (c *Collector) Render(w io.Writer, width int) {
+	if width < 10 {
+		width = 10
+	}
+	end := c.End()
+	if end == 0 {
+		fmt.Fprintln(w, "trace: empty timeline")
+		return
+	}
+	fmt.Fprintf(w, "timeline 0 .. %.3f virtual seconds  (C=copy I=input S=search O=output -=other, blank=idle)\n", end)
+	for _, rank := range c.Ranks() {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, s := range c.Spans(rank) {
+			from := int(s.From / end * float64(width))
+			to := int(s.To / end * float64(width))
+			if to >= width {
+				to = width - 1
+			}
+			g := Glyph(s.Phase)
+			for i := from; i <= to && i < width; i++ {
+				row[i] = g
+			}
+		}
+		fmt.Fprintf(w, "rank %3d |%s|\n", rank, string(row))
+	}
+}
+
+// Summary prints per-phase totals per rank.
+func (c *Collector) Summary(w io.Writer) {
+	for _, rank := range c.Ranks() {
+		totals := map[string]float64{}
+		var order []string
+		for _, s := range c.Spans(rank) {
+			if _, seen := totals[s.Phase]; !seen {
+				order = append(order, s.Phase)
+			}
+			totals[s.Phase] += s.To - s.From
+		}
+		var parts []string
+		for _, p := range order {
+			parts = append(parts, fmt.Sprintf("%s=%.3f", p, totals[p]))
+		}
+		fmt.Fprintf(w, "rank %3d: %s\n", rank, strings.Join(parts, " "))
+	}
+}

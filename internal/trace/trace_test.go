@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parblast/internal/mpi"
+	"parblast/internal/simtime"
+)
+
+func TestCollectorCoalesces(t *testing.T) {
+	c := NewCollector()
+	c.Record(0, "search", 0, 1)
+	c.Record(0, "search", 1, 2) // contiguous same phase → coalesced
+	c.Record(0, "output", 2, 3)
+	spans := c.Spans(0)
+	if len(spans) != 2 {
+		t.Fatalf("%d spans, want 2: %v", len(spans), spans)
+	}
+	if spans[0].From != 0 || spans[0].To != 2 || spans[0].Phase != "search" {
+		t.Fatalf("coalesced span wrong: %+v", spans[0])
+	}
+	if c.End() != 3 {
+		t.Fatalf("end = %g", c.End())
+	}
+	// Zero-length intervals ignored.
+	c.Record(0, "output", 3, 3)
+	if len(c.Spans(0)) != 2 {
+		t.Fatal("zero-length span recorded")
+	}
+}
+
+func TestObserverViaClock(t *testing.T) {
+	c := NewCollector()
+	clock := simtime.NewClock()
+	clock.SetObserver(c.Observer(4))
+	clock.SetPhase(simtime.PhaseSearch)
+	clock.Advance(2)
+	clock.SetPhase(simtime.PhaseOutput)
+	clock.Advance(1)
+	spans := c.Spans(4)
+	if len(spans) != 2 || spans[1].Phase != simtime.PhaseOutput {
+		t.Fatalf("spans: %v", spans)
+	}
+	if got := c.Ranks(); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("ranks: %v", got)
+	}
+}
+
+func TestRenderAndSummary(t *testing.T) {
+	c := NewCollector()
+	c.Record(0, "search", 0, 8)
+	c.Record(0, "output", 8, 10)
+	c.Record(1, "idle", 0, 5)
+	c.Record(1, "output", 5, 10)
+	var buf bytes.Buffer
+	c.Render(&buf, 40)
+	out := buf.String()
+	if !strings.Contains(out, "rank   0 |") || !strings.Contains(out, "rank   1 |") {
+		t.Fatalf("render missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "SSS") || !strings.Contains(out, "OO") {
+		t.Fatalf("render missing glyphs:\n%s", out)
+	}
+	buf.Reset()
+	c.Summary(&buf)
+	if !strings.Contains(buf.String(), "search=8.000") {
+		t.Fatalf("summary wrong:\n%s", buf.String())
+	}
+	// Empty collector renders a notice, not a panic.
+	buf.Reset()
+	NewCollector().Render(&buf, 40)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatal("empty render missing notice")
+	}
+}
+
+func TestTraceThroughMPIRun(t *testing.T) {
+	c := NewCollector()
+	cfg := mpi.Config{
+		Cost:     simtime.DefaultCostModel(),
+		Observer: c.Observer,
+	}
+	_, err := mpi.RunConfig(2, cfg, func(r *mpi.Rank) error {
+		r.SetPhase(simtime.PhaseSearch)
+		r.Advance(0.5)
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Ranks()) != 2 {
+		t.Fatalf("traced %d ranks", len(c.Ranks()))
+	}
+	for _, rank := range c.Ranks() {
+		found := false
+		for _, s := range c.Spans(rank) {
+			if s.Phase == simtime.PhaseSearch && s.To-s.From >= 0.5 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("rank %d search span missing: %v", rank, c.Spans(rank))
+		}
+	}
+}
+
+func TestGlyphs(t *testing.T) {
+	if Glyph("search") != 'S' || Glyph("idle") != ' ' || Glyph("weird") != 'w' || Glyph("") != '?' {
+		t.Fatal("glyph mapping wrong")
+	}
+}

@@ -1,0 +1,305 @@
+// Package vfs simulates cluster storage: a shared parallel file system and
+// per-node local disks, with a deterministic contention-aware cost model.
+//
+// Data is held in memory and is byte-exact — files written through the
+// MPI-IO layer can be read back and compared, which is how the reproduction
+// verifies that pioBLAST's collective output equals mpiBLAST's serial
+// output. Time is modelled separately: every access reports a completion
+// time computed from the storage's latency, per-stream bandwidth, and a
+// channel pool that captures how many concurrent streams the file system
+// can sustain before accesses queue (XFS-like: many; NFS-like: one).
+package vfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Profile holds the performance characteristics of one storage system.
+type Profile struct {
+	// Name appears in diagnostics ("xfs", "nfs", "local").
+	Name string
+	// Latency is the per-operation setup cost in seconds.
+	Latency float64
+	// Bandwidth is the per-stream transfer rate in bytes/second.
+	Bandwidth float64
+	// Channels is how many concurrent streams proceed at full bandwidth;
+	// further concurrent accesses queue behind the busiest channel.
+	Channels int
+}
+
+// Validate rejects unusable profiles.
+func (p Profile) Validate() error {
+	if p.Latency < 0 || p.Bandwidth <= 0 || p.Channels < 1 {
+		return fmt.Errorf("vfs: invalid profile %+v", p)
+	}
+	return nil
+}
+
+// XFSLike models the ORNL Altix's SGI XFS: a high-bandwidth parallel file
+// system that scales to many concurrent streams.
+func XFSLike() Profile {
+	return Profile{Name: "xfs", Latency: 3e-4, Bandwidth: 200e6, Channels: 32}
+}
+
+// NFSLike models the NCSU blade cluster's NFS server: one modest server
+// that serializes concurrent clients.
+func NFSLike() Profile {
+	return Profile{Name: "nfs", Latency: 5e-3, Bandwidth: 30e6, Channels: 1}
+}
+
+// LocalDisk models a node-local IDE/SCSI disk.
+func LocalDisk() Profile {
+	return Profile{Name: "local", Latency: 8e-3, Bandwidth: 50e6, Channels: 1}
+}
+
+// RAMDisk models in-memory staging (effectively free I/O); useful for
+// ablations that isolate protocol costs from storage costs.
+func RAMDisk() Profile {
+	return Profile{Name: "ram", Latency: 1e-6, Bandwidth: 4e9, Channels: 64}
+}
+
+// FS is one simulated file system: a namespace of in-memory files plus a
+// channel pool for timing.
+type FS struct {
+	profile Profile
+
+	mu       sync.Mutex
+	files    map[string]*File
+	channels []float64 // busy-until time per channel
+	// stats
+	bytesRead    int64
+	bytesWritten int64
+	ops          int64
+}
+
+// New creates an empty file system with the given performance profile.
+func New(p Profile) (*FS, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &FS{
+		profile:  p,
+		files:    make(map[string]*File),
+		channels: make([]float64, p.Channels),
+	}, nil
+}
+
+// MustNew is New for known-good presets.
+func MustNew(p Profile) *FS {
+	fs, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return fs
+}
+
+// Profile returns the performance profile.
+func (fs *FS) Profile() Profile { return fs.profile }
+
+// Access charges one I/O of the given size starting no earlier than start,
+// and returns its completion time. It implements the channel-pool queueing
+// model: the operation grabs the earliest-free channel.
+func (fs *FS) Access(start float64, size int64) float64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.accessLocked(start, size)
+}
+
+func (fs *FS) accessLocked(start float64, size int64) float64 {
+	fs.ops++
+	// Earliest-free channel.
+	best := 0
+	for i := 1; i < len(fs.channels); i++ {
+		if fs.channels[i] < fs.channels[best] {
+			best = i
+		}
+	}
+	begin := start
+	if fs.channels[best] > begin {
+		begin = fs.channels[best]
+	}
+	end := begin + fs.profile.Latency + float64(size)/fs.profile.Bandwidth
+	fs.channels[best] = end
+	return end
+}
+
+// Stats reports cumulative operation counts and byte volumes.
+func (fs *FS) Stats() (ops, bytesRead, bytesWritten int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops, fs.bytesRead, fs.bytesWritten
+}
+
+// Create makes (or truncates) a file and returns it.
+func (fs *FS) Create(path string) *File {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := &File{name: path, fs: fs}
+	fs.files[path] = f
+	return f
+}
+
+// Open returns an existing file.
+func (fs *FS) Open(path string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("vfs: %s: file %q does not exist", fs.profile.Name, path)
+	}
+	return f, nil
+}
+
+// OpenOrCreate returns the file, creating it when absent (the shared output
+// file is opened this way by every rank).
+func (fs *FS) OpenOrCreate(path string) *File {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f, ok := fs.files[path]; ok {
+		return f
+	}
+	f := &File{name: path, fs: fs}
+	fs.files[path] = f
+	return f
+}
+
+// Remove deletes a file.
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("vfs: %s: remove %q: no such file", fs.profile.Name, path)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// List returns all paths in sorted order.
+func (fs *FS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteFile creates path with the given contents (no time charged; use the
+// mpiio layer for timed access). Handy for test and staging setup.
+func (fs *FS) WriteFile(path string, data []byte) {
+	f := fs.Create(path)
+	f.WriteAt(data, 0)
+}
+
+// ReadFile returns a copy of the file's contents (no time charged).
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f.Snapshot(), nil
+}
+
+// File is an in-memory file with positional access.
+type File struct {
+	name string
+	fs   *FS
+
+	mu   sync.Mutex
+	data []byte
+}
+
+// Name returns the path the file was created with.
+func (f *File) Name() string { return f.name }
+
+// Size returns the current length.
+func (f *File) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.data))
+}
+
+// ReadAt copies len(p) bytes from offset off. Short reads at EOF return the
+// available bytes and no error; reads fully past EOF return 0.
+func (f *File) ReadAt(p []byte, off int64) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off >= int64(len(f.data)) {
+		return 0
+	}
+	n := copy(p, f.data[off:])
+	f.fs.mu.Lock()
+	f.fs.bytesRead += int64(n)
+	f.fs.mu.Unlock()
+	return n
+}
+
+// WriteAt stores p at offset off, growing (zero-filling) as needed.
+func (f *File) WriteAt(p []byte, off int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(f.data)) {
+		grown := make([]byte, end)
+		copy(grown, f.data)
+		f.data = grown
+	}
+	copy(f.data[off:end], p)
+	f.fs.mu.Lock()
+	f.fs.bytesWritten += int64(len(p))
+	f.fs.mu.Unlock()
+}
+
+// Truncate sets the file length.
+func (f *File) Truncate(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= int64(len(f.data)) {
+		f.data = f.data[:n]
+		return
+	}
+	grown := make([]byte, n)
+	copy(grown, f.data)
+	f.data = grown
+}
+
+// Snapshot returns a copy of the contents.
+func (f *File) Snapshot() []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out
+}
+
+// Node bundles the storage visible to one cluster node: the shared file
+// system (same object for every node) and an optional local disk.
+type Node struct {
+	Shared *FS
+	Local  *FS // nil when the platform has no user-accessible local disk
+}
+
+// Cluster builds the storage layout for n nodes: one shared FS instance
+// and, when localProfile is non-nil, a private local disk per node.
+func Cluster(n int, shared Profile, localProfile *Profile) ([]*Node, error) {
+	sharedFS, err := New(shared)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = &Node{Shared: sharedFS}
+		if localProfile != nil {
+			local, err := New(*localProfile)
+			if err != nil {
+				return nil, err
+			}
+			nodes[i].Local = local
+		}
+	}
+	return nodes, nil
+}

@@ -1,0 +1,188 @@
+package vfs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfiles(t *testing.T) {
+	for _, p := range []Profile{XFSLike(), NFSLike(), LocalDisk(), RAMDisk()} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+	if err := (Profile{Bandwidth: 0, Channels: 1}).Validate(); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if err := (Profile{Bandwidth: 1, Channels: 0}).Validate(); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+}
+
+func TestFileReadWrite(t *testing.T) {
+	fs := MustNew(RAMDisk())
+	f := fs.Create("a.dat")
+	f.WriteAt([]byte("hello"), 0)
+	f.WriteAt([]byte("world"), 10) // hole in the middle
+	if f.Size() != 15 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	buf := make([]byte, 15)
+	if n := f.ReadAt(buf, 0); n != 15 {
+		t.Fatalf("read %d", n)
+	}
+	if string(buf[:5]) != "hello" || string(buf[10:]) != "world" {
+		t.Fatalf("contents: %q", buf)
+	}
+	for i := 5; i < 10; i++ {
+		if buf[i] != 0 {
+			t.Fatal("hole not zero-filled")
+		}
+	}
+	// Read past EOF.
+	if n := f.ReadAt(buf, 20); n != 0 {
+		t.Fatalf("read past EOF returned %d", n)
+	}
+	// Short read at EOF.
+	if n := f.ReadAt(buf, 12); n != 3 {
+		t.Fatalf("short read returned %d", n)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	fs := MustNew(RAMDisk())
+	f := fs.Create("t")
+	f.WriteAt([]byte("abcdef"), 0)
+	f.Truncate(3)
+	if f.Size() != 3 {
+		t.Fatalf("size after shrink = %d", f.Size())
+	}
+	f.Truncate(5)
+	if f.Size() != 5 {
+		t.Fatalf("size after grow = %d", f.Size())
+	}
+	snap := f.Snapshot()
+	if string(snap[:3]) != "abc" || snap[3] != 0 || snap[4] != 0 {
+		t.Fatalf("grown area: %q", snap)
+	}
+}
+
+func TestNamespace(t *testing.T) {
+	fs := MustNew(RAMDisk())
+	fs.WriteFile("b", []byte("2"))
+	fs.WriteFile("a", []byte("1"))
+	if _, err := fs.Open("missing"); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+	got := fs.List()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("list = %v", got)
+	}
+	data, err := fs.ReadFile("a")
+	if err != nil || string(data) != "1" {
+		t.Fatalf("readfile: %q %v", data, err)
+	}
+	if err := fs.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("a"); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+	f := fs.OpenOrCreate("c")
+	if f == nil || fs.OpenOrCreate("c") != f {
+		t.Fatal("OpenOrCreate not idempotent")
+	}
+}
+
+func TestAccessSingleChannelSerializes(t *testing.T) {
+	fs := MustNew(Profile{Name: "t", Latency: 1, Bandwidth: 100, Channels: 1})
+	// Two concurrent 100-byte accesses at t=0: second queues behind first.
+	end1 := fs.Access(0, 100) // 1 + 1 = 2
+	end2 := fs.Access(0, 100) // starts at 2 → ends at 4
+	if end1 != 2 {
+		t.Fatalf("end1 = %g", end1)
+	}
+	if end2 != 4 {
+		t.Fatalf("end2 = %g, want 4 (serialized)", end2)
+	}
+}
+
+func TestAccessMultiChannelParallel(t *testing.T) {
+	fs := MustNew(Profile{Name: "t", Latency: 1, Bandwidth: 100, Channels: 4})
+	for i := 0; i < 4; i++ {
+		if end := fs.Access(0, 100); end != 2 {
+			t.Fatalf("stream %d end = %g, want 2 (parallel)", i, end)
+		}
+	}
+	// Fifth access queues.
+	if end := fs.Access(0, 100); end != 4 {
+		t.Fatalf("fifth stream end = %g, want 4", end)
+	}
+}
+
+func TestAccessIdleChannelsRecover(t *testing.T) {
+	fs := MustNew(Profile{Name: "t", Latency: 0, Bandwidth: 100, Channels: 1})
+	fs.Access(0, 100) // busy until 1
+	if end := fs.Access(10, 100); end != 11 {
+		t.Fatalf("late access end = %g, want 11 (no queueing)", end)
+	}
+}
+
+func TestAccessMonotoneQuick(t *testing.T) {
+	fs := MustNew(XFSLike())
+	f := func(start uint16, size uint16) bool {
+		s := float64(start)
+		end := fs.Access(s, int64(size))
+		return end >= s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	fs := MustNew(RAMDisk())
+	f := fs.Create("s")
+	f.WriteAt(make([]byte, 100), 0)
+	buf := make([]byte, 40)
+	f.ReadAt(buf, 0)
+	fs.Access(0, 1)
+	ops, br, bw := fs.Stats()
+	if ops != 1 || br != 40 || bw != 100 {
+		t.Fatalf("stats = %d %d %d", ops, br, bw)
+	}
+}
+
+func TestCluster(t *testing.T) {
+	nodes, err := Cluster(4, XFSLike(), ptr(LocalDisk()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 4 {
+		t.Fatalf("%d nodes", len(nodes))
+	}
+	for i := 1; i < 4; i++ {
+		if nodes[i].Shared != nodes[0].Shared {
+			t.Fatal("shared FS not shared")
+		}
+		if nodes[i].Local == nodes[0].Local || nodes[i].Local == nil {
+			t.Fatal("local disks must be private")
+		}
+	}
+	nodes, err = Cluster(2, NFSLike(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes[0].Local != nil {
+		t.Fatal("diskless cluster has a local disk")
+	}
+	// Shared writes visible across nodes.
+	nodes[0].Shared.WriteFile("x", []byte("shared"))
+	data, err := nodes[1].Shared.ReadFile("x")
+	if err != nil || !bytes.Equal(data, []byte("shared")) {
+		t.Fatal("shared file not visible on other node")
+	}
+}
+
+func ptr(p Profile) *Profile { return &p }

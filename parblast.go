@@ -1,0 +1,301 @@
+// Package parblast is a from-scratch reproduction of "Efficient Data
+// Access for Parallel BLAST" (Lin, Ma, Chandramohan, Geist, Samatova,
+// IPDPS 2005) — the pioBLAST system — together with everything it needs to
+// run: a BLAST search kernel, a formatdb-equivalent database formatter, a
+// simulated MPI runtime with virtual-time accounting, an MPI-IO-style
+// collective I/O layer, a cluster storage model, and the mpiBLAST baseline
+// the paper compares against.
+//
+// The package is the public façade: it wires the internal substrates into
+// three operations — build a cluster, format a database onto it, and run a
+// search with either engine — and re-exports the types callers need.
+//
+// Quick start:
+//
+//	cluster, _ := parblast.NewCluster(8, parblast.PlatformAltix)
+//	seqs, _ := parblast.SynthesizeDB(parblast.DBConfig{Kind: parblast.Protein, NumSeqs: 500, MeanLen: 300, Seed: 1})
+//	db, _ := cluster.FormatDB("nr", seqs, "GenBank-like nr")
+//	queries, _ := parblast.SampleQueries(seqs, parblast.QueryConfig{TargetBytes: 4096, MeanLen: 120, Seed: 2})
+//	res, _ := cluster.Run(parblast.EnginePioBLAST, parblast.Search{DB: db, Queries: queries, Output: "results.out"})
+//	fmt.Println(res.Phase, res.Wall)
+package parblast
+
+import (
+	"fmt"
+
+	"parblast/internal/blast"
+	"parblast/internal/core"
+	"parblast/internal/engine"
+	"parblast/internal/formatdb"
+	"parblast/internal/mpi"
+	"parblast/internal/mpiblast"
+	"parblast/internal/seq"
+	"parblast/internal/simtime"
+	"parblast/internal/trace"
+	"parblast/internal/vfs"
+	"parblast/internal/workload"
+)
+
+// Re-exported building blocks. These are aliases, not copies: examples and
+// tools work with the same types the internals use.
+type (
+	// Sequence is one biological sequence (ID, description, residues).
+	Sequence = seq.Sequence
+	// DBConfig configures synthetic database generation.
+	DBConfig = workload.DBConfig
+	// QueryConfig configures query sampling.
+	QueryConfig = workload.QueryConfig
+	// SearchOptions configures the BLAST kernel.
+	SearchOptions = blast.Options
+	// Result is a run summary: wall time, phase breakdown, output size.
+	Result = engine.RunResult
+	// Breakdown is a per-phase time split.
+	Breakdown = simtime.Breakdown
+	// CostModel converts work into virtual seconds.
+	CostModel = simtime.CostModel
+	// PioOptions selects pioBLAST variants (early pruning, independent
+	// output) for ablations.
+	PioOptions = core.Options
+	// DB describes a formatted database.
+	DB = formatdb.DB
+	// TraceCollector records per-rank phase timelines (see Cluster.Trace).
+	TraceCollector = trace.Collector
+)
+
+// Molecule kinds.
+const (
+	Protein = seq.Protein
+	DNA     = seq.DNA
+)
+
+// Report formats.
+const (
+	FormatPairwise = blast.FormatPairwise
+	FormatTabular  = blast.FormatTabular
+)
+
+// Re-exported constructors.
+var (
+	// SynthesizeDB generates a deterministic synthetic database.
+	SynthesizeDB = workload.SynthesizeDB
+	// SampleQueries cuts query sets out of a database (the paper's query
+	// methodology).
+	SampleQueries = workload.SampleQueries
+	// DefaultProteinOptions mirrors blastp defaults.
+	DefaultProteinOptions = blast.DefaultProteinOptions
+	// DefaultDNAOptions mirrors blastn defaults.
+	DefaultDNAOptions = blast.DefaultDNAOptions
+	// DefaultCostModel is a 2004-era cluster cost model.
+	DefaultCostModel = simtime.DefaultCostModel
+)
+
+// Platform selects a storage configuration modelled on the paper's two
+// testbeds plus an idealized one.
+type Platform int
+
+const (
+	// PlatformAltix models the ORNL SGI Altix: fast XFS shared storage,
+	// no user-accessible node-local disks.
+	PlatformAltix Platform = iota
+	// PlatformBladeCluster models the NCSU IBM blade cluster: slow NFS
+	// shared storage plus node-local disks.
+	PlatformBladeCluster
+	// PlatformIdeal has near-free storage; useful to isolate protocol
+	// costs in ablations.
+	PlatformIdeal
+)
+
+// String names the platform.
+func (p Platform) String() string {
+	switch p {
+	case PlatformAltix:
+		return "altix-xfs"
+	case PlatformBladeCluster:
+		return "blade-nfs"
+	case PlatformIdeal:
+		return "ideal"
+	default:
+		return fmt.Sprintf("Platform(%d)", int(p))
+	}
+}
+
+// Engine selects the search implementation.
+type Engine int
+
+const (
+	// EngineSequential is the single-process reference.
+	EngineSequential Engine = iota
+	// EngineMPIBlast is the baseline (pre-partitioned fragments,
+	// serialized merging, master-only output).
+	EngineMPIBlast
+	// EnginePioBLAST is the paper's contribution.
+	EnginePioBLAST
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineSequential:
+		return "sequential"
+	case EngineMPIBlast:
+		return "mpiBLAST"
+	case EnginePioBLAST:
+		return "pioBLAST"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Cluster is a simulated parallel machine: ranks, storage, cost model.
+type Cluster struct {
+	procs int
+	nodes []*vfs.Node
+	cost  simtime.CostModel
+	trace *trace.Collector
+}
+
+// NewCluster builds a cluster of procs ranks on the given platform with
+// the default cost model.
+func NewCluster(procs int, platform Platform) (*Cluster, error) {
+	return NewClusterWithCost(procs, platform, simtime.DefaultCostModel())
+}
+
+// NewClusterWithCost builds a cluster with an explicit cost model.
+func NewClusterWithCost(procs int, platform Platform, cost CostModel) (*Cluster, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("parblast: cluster needs ≥1 process, got %d", procs)
+	}
+	if err := cost.Validate(); err != nil {
+		return nil, err
+	}
+	var shared vfs.Profile
+	var local *vfs.Profile
+	switch platform {
+	case PlatformAltix:
+		shared = vfs.XFSLike()
+	case PlatformBladeCluster:
+		shared = vfs.NFSLike()
+		l := vfs.LocalDisk()
+		local = &l
+	case PlatformIdeal:
+		shared = vfs.RAMDisk()
+	default:
+		return nil, fmt.Errorf("parblast: unknown platform %v", platform)
+	}
+	nodes, err := vfs.Cluster(procs, shared, local)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{procs: procs, nodes: nodes, cost: cost}, nil
+}
+
+// Procs returns the rank count.
+func (c *Cluster) Procs() int { return c.procs }
+
+// Trace enables phase-timeline collection for subsequent runs and returns
+// the collector (render it with Render/Summary after a run).
+func (c *Cluster) Trace() *TraceCollector {
+	if c.trace == nil {
+		c.trace = trace.NewCollector()
+	}
+	return c.trace
+}
+
+// SharedFS exposes the shared file system (reading results, staging data).
+func (c *Cluster) SharedFS() *vfs.FS { return c.nodes[0].Shared }
+
+// FormatDB formats sequences into a named database on the shared file
+// system (the formatdb step users run once per database).
+func (c *Cluster) FormatDB(name string, seqs []*Sequence, title string) (*DB, error) {
+	return formatdb.Format(c.nodes[0].Shared, name, seqs, formatdb.Config{
+		Title: title, Kind: seqs[0].Alpha.Kind(),
+	})
+}
+
+// FormatDBVolumes formats with a maximum volume size, producing a
+// multi-volume database as formatdb does for very large inputs.
+func (c *Cluster) FormatDBVolumes(name string, seqs []*Sequence, title string, volumeMaxResidues int64) (*DB, error) {
+	return formatdb.Format(c.nodes[0].Shared, name, seqs, formatdb.Config{
+		Title: title, Kind: seqs[0].Alpha.Kind(), VolumeMaxResidues: volumeMaxResidues,
+	})
+}
+
+// OpenDB loads metadata of a database already present on the shared file
+// system (e.g. imported from a directory that cmd/formatdb produced).
+func (c *Cluster) OpenDB(name string) (*DB, error) {
+	return formatdb.Open(c.nodes[0].Shared, name)
+}
+
+// PrepareFragments runs the mpiformatdb pre-partitioning step the baseline
+// engine requires (pioBLAST never needs it).
+func (c *Cluster) PrepareFragments(dbName string, n int) error {
+	_, err := mpiblast.PrepareFragments(c.nodes[0].Shared, dbName, n)
+	return err
+}
+
+// Search describes one search run.
+type Search struct {
+	// DB is the formatted database (from FormatDB).
+	DB *DB
+	// Queries is the query set.
+	Queries []*Sequence
+	// Output is the result-file path on the shared FS.
+	Output string
+	// Options configures the kernel; zero value selects defaults matching
+	// the database's molecule kind.
+	Options SearchOptions
+	// Fragments overrides the partition granularity (0 = natural:
+	// one fragment per worker).
+	Fragments int
+	// Pio selects pioBLAST variants; ignored by other engines.
+	Pio PioOptions
+}
+
+// Run executes the search with the chosen engine and returns the timing
+// summary. The result file is written to s.Output on the shared FS.
+func (c *Cluster) Run(eng Engine, s Search) (Result, error) {
+	if s.DB == nil {
+		return Result{}, fmt.Errorf("parblast: search needs a database")
+	}
+	opts := s.Options
+	if opts.Matrix == nil {
+		if s.DB.Kind == seq.DNA {
+			opts = blast.DefaultDNAOptions()
+		} else {
+			opts = blast.DefaultProteinOptions()
+		}
+	}
+	job := &engine.Job{
+		DBBase:     s.DB.Base,
+		Queries:    s.Queries,
+		Options:    opts,
+		OutputPath: s.Output,
+		Fragments:  s.Fragments,
+	}
+	cfg := mpi.Config{Cost: c.cost, Speeds: s.Pio.NodeSpeeds}
+	if c.trace != nil {
+		cfg.Observer = c.trace.Observer
+	}
+	switch eng {
+	case EngineSequential:
+		if err := engine.RunSequential(c.nodes[0].Shared, job); err != nil {
+			return Result{}, err
+		}
+		var out int64
+		if f, err := c.nodes[0].Shared.Open(s.Output); err == nil {
+			out = f.Size()
+		}
+		return Result{OutputBytes: out}, nil
+	case EngineMPIBlast:
+		return mpiblast.RunConfig(c.nodes, c.procs, cfg, job)
+	case EnginePioBLAST:
+		return core.RunConfig(c.nodes, c.procs, cfg, job, s.Pio)
+	default:
+		return Result{}, fmt.Errorf("parblast: unknown engine %v", eng)
+	}
+}
+
+// ReadOutput returns the produced result file.
+func (c *Cluster) ReadOutput(path string) ([]byte, error) {
+	return c.nodes[0].Shared.ReadFile(path)
+}

@@ -1,0 +1,243 @@
+package parblast_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parblast"
+)
+
+func buildWorkload(t *testing.T) ([]*parblast.Sequence, []*parblast.Sequence) {
+	t.Helper()
+	seqs, err := parblast.SynthesizeDB(parblast.DBConfig{
+		Kind: parblast.Protein, NumSeqs: 80, MeanLen: 150, Seed: 5, FamilySize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := parblast.SampleQueries(seqs, parblast.QueryConfig{
+		TargetBytes: 400, MeanLen: 100, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seqs, queries
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	seqs, queries := buildWorkload(t)
+	var outputs [][]byte
+	for _, eng := range []parblast.Engine{
+		parblast.EngineSequential, parblast.EngineMPIBlast, parblast.EnginePioBLAST,
+	} {
+		cluster, err := parblast.NewCluster(4, parblast.PlatformAltix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := cluster.FormatDB("nr", seqs, "api nr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eng == parblast.EngineMPIBlast {
+			if err := cluster.PrepareFragments("nr", 3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := cluster.Run(eng, parblast.Search{DB: db, Queries: queries, Output: "out"})
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		out, err := cluster.ReadOutput("out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OutputBytes != int64(len(out)) {
+			t.Fatalf("%v: OutputBytes %d != file size %d", eng, res.OutputBytes, len(out))
+		}
+		outputs = append(outputs, out)
+	}
+	if !bytes.Equal(outputs[0], outputs[1]) || !bytes.Equal(outputs[0], outputs[2]) {
+		t.Fatal("engines disagree through the public API")
+	}
+	if !strings.Contains(string(outputs[0]), "BLASTP") {
+		t.Fatal("report missing banner")
+	}
+}
+
+func TestPlatformAndEngineNames(t *testing.T) {
+	if parblast.PlatformAltix.String() != "altix-xfs" ||
+		parblast.PlatformBladeCluster.String() != "blade-nfs" ||
+		parblast.PlatformIdeal.String() != "ideal" {
+		t.Fatal("platform names wrong")
+	}
+	if parblast.EnginePioBLAST.String() != "pioBLAST" ||
+		parblast.EngineMPIBlast.String() != "mpiBLAST" ||
+		parblast.EngineSequential.String() != "sequential" {
+		t.Fatal("engine names wrong")
+	}
+	if !strings.Contains(parblast.Platform(99).String(), "99") {
+		t.Fatal("unknown platform should render its number")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := parblast.NewCluster(0, parblast.PlatformAltix); err == nil {
+		t.Fatal("zero-proc cluster accepted")
+	}
+	if _, err := parblast.NewCluster(2, parblast.Platform(42)); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	bad := parblast.DefaultCostModel()
+	bad.NetBandwidth = 0
+	if _, err := parblast.NewClusterWithCost(2, parblast.PlatformAltix, bad); err == nil {
+		t.Fatal("invalid cost model accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cluster, err := parblast.NewCluster(2, parblast.PlatformIdeal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Run(parblast.EnginePioBLAST, parblast.Search{}); err == nil {
+		t.Fatal("search without database accepted")
+	}
+	seqs, queries := buildWorkload(t)
+	db, err := cluster.FormatDB("nr", seqs, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Run(parblast.Engine(99), parblast.Search{DB: db, Queries: queries, Output: "o"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestDNADefaultsSelected(t *testing.T) {
+	cluster, err := parblast.NewCluster(3, parblast.PlatformIdeal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := parblast.SynthesizeDB(parblast.DBConfig{
+		Kind: parblast.DNA, NumSeqs: 20, MeanLen: 600, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := parblast.SampleQueries(seqs, parblast.QueryConfig{
+		TargetBytes: 600, MeanLen: 300, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := cluster.FormatDB("nt", seqs, "dna db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Run(parblast.EnginePioBLAST, parblast.Search{
+		DB: db, Queries: queries, Output: "out",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cluster.ReadOutput("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "BLASTN") {
+		t.Fatal("DNA database did not select blastn defaults")
+	}
+}
+
+func TestMultiVolumeViaAPI(t *testing.T) {
+	cluster, err := parblast.NewCluster(4, parblast.PlatformAltix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, queries := buildWorkload(t)
+	db, err := cluster.FormatDBVolumes("nr", seqs, "volumes", 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Volumes) < 2 {
+		t.Fatalf("expected multiple volumes, got %d", len(db.Volumes))
+	}
+	if _, err := cluster.Run(parblast.EnginePioBLAST, parblast.Search{
+		DB: db, Queries: queries, Output: "out",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceThroughPublicAPI(t *testing.T) {
+	seqs, queries := buildWorkload(t)
+	cluster, err := parblast.NewCluster(3, parblast.PlatformAltix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector := cluster.Trace()
+	db, err := cluster.FormatDB("nr", seqs, "traced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Run(parblast.EnginePioBLAST, parblast.Search{
+		DB: db, Queries: queries, Output: "out",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(collector.Ranks()) != 3 {
+		t.Fatalf("traced %d ranks, want 3", len(collector.Ranks()))
+	}
+	var buf strings.Builder
+	collector.Render(&buf, 60)
+	if !strings.Contains(buf.String(), "rank   0") {
+		t.Fatalf("timeline malformed:\n%s", buf.String())
+	}
+}
+
+func TestTabularThroughPublicAPI(t *testing.T) {
+	seqs, queries := buildWorkload(t)
+	cluster, err := parblast.NewCluster(4, parblast.PlatformAltix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := cluster.FormatDB("nr", seqs, "tab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := parblast.DefaultProteinOptions()
+	opts.OutFormat = parblast.FormatTabular
+	if _, err := cluster.Run(parblast.EnginePioBLAST, parblast.Search{
+		DB: db, Queries: queries, Output: "out", Options: opts,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cluster.ReadOutput("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "# Fields:") {
+		t.Fatal("tabular output missing through public API")
+	}
+}
+
+func TestAdaptiveBatchingThroughPublicAPI(t *testing.T) {
+	seqs, queries := buildWorkload(t)
+	cluster, err := parblast.NewCluster(4, parblast.PlatformAltix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := cluster.FormatDB("nr", seqs, "mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Run(parblast.EnginePioBLAST, parblast.Search{
+		DB: db, Queries: queries, Output: "out",
+		Pio: parblast.PioOptions{MemoryBudgetBytes: 32 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutputBytes == 0 {
+		t.Fatal("no output")
+	}
+}
