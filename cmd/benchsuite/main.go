@@ -6,25 +6,72 @@
 //
 //	benchsuite [-exp all|fig1a|fig1b|table1|table2|fig3a|fig3b|fig4|ablations]
 //	           [-dbseqs N] [-family N] [-querybytes N]
+//	benchsuite -kernelbench [-bench-out BENCH_1.json]
 //
 // Times are virtual seconds from the cluster simulation; see EXPERIMENTS.md
-// for the paper-vs-measured comparison.
+// for the paper-vs-measured comparison. -kernelbench instead measures the
+// search kernel itself (wall-clock ns/op and allocs/op via
+// testing.Benchmark) and writes the perf-trajectory record.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"parblast/internal/blast"
 	"parblast/internal/experiments"
 )
+
+// seedBaseline is the kernel benchmark record of the growth seed (pre-CSR,
+// pre-scratch, sequential kernel), measured on the same fixture; kept in the
+// trajectory file so each BENCH_N.json is self-contained.
+var seedBaseline = []blast.KernelBenchResult{
+	{Name: "SearchFragment", NsPerOp: 3690884, AllocsPerOp: 3697, BytesPerOp: 670457},
+	{Name: "BuildIndexProtein", NsPerOp: 713432, AllocsPerOp: 6005, BytesPerOp: 263128},
+	{Name: "ExtendGapped", NsPerOp: 544499, AllocsPerOp: 218, BytesPerOp: 56312},
+}
+
+func runKernelBench(outPath string) error {
+	results := blast.RunKernelBenchmarks()
+	doc := struct {
+		Suite    string                    `json:"suite"`
+		Results  []blast.KernelBenchResult `json:"results"`
+		Baseline []blast.KernelBenchResult `json:"seed_baseline"`
+	}{Suite: "kernel", Results: results, Baseline: seedBaseline}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-24s %12.0f ns/op %8d allocs/op %10d B/op\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, fig1a, fig1b, table1, table2, fig3a, fig3b, fig4, ablations, hetero")
 	dbSeqs := flag.Int("dbseqs", 0, "override database sequence count")
 	family := flag.Int("family", 0, "override family size (database redundancy)")
 	queryBytes := flag.Int("querybytes", 0, "override the default ('150 KB'-equivalent) query set volume")
+	kernelBench := flag.Bool("kernelbench", false, "run the search-kernel micro-benchmarks and write the perf-trajectory JSON")
+	benchOut := flag.String("bench-out", "BENCH_1.json", "output path for -kernelbench")
 	flag.Parse()
+
+	if *kernelBench {
+		if err := runKernelBench(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	lab := experiments.DefaultLab()
 	if *dbSeqs > 0 {

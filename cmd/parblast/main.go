@@ -38,6 +38,7 @@ func main() {
 	dynamic := flag.Bool("dynamic", false, "pioBLAST: greedy run-time fragment assignment (§5)")
 	batch := flag.Int("batch", 0, "pioBLAST: queries per collective write (§5 query batching)")
 	memBudget := flag.Int64("membudget", 0, "pioBLAST: adaptive batching memory budget in bytes (§5)")
+	searchThreads := flag.Int("search-threads", 0, "intra-rank search worker goroutines (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	timeline := flag.Bool("timeline", false, "print a per-rank phase timeline after the run")
 	flag.Parse()
 
@@ -153,6 +154,7 @@ func main() {
 		search.Options = parblast.DefaultProteinOptions()
 	}
 	search.Options.FilterLowComplexity = *filter
+	search.Options.SearchThreads = *searchThreads
 	switch *outfmt {
 	case "pairwise":
 	case "tabular":

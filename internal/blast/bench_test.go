@@ -31,9 +31,11 @@ func benchFixture(nSubj, subjLen int) (*Fragment, *seq.Sequence) {
 	return frag, query
 }
 
-func BenchmarkSearchFragment(b *testing.B) {
+func benchSearchFragment(b *testing.B, threads int) {
 	frag, query := benchFixture(64, 400)
-	s, err := NewSearcher(DefaultProteinOptions())
+	opts := DefaultProteinOptions()
+	opts.SearchThreads = threads
+	s, err := NewSearcher(opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -42,6 +44,7 @@ func BenchmarkSearchFragment(b *testing.B) {
 		b.Fatal(err)
 	}
 	space := stats.NewSearchSpace(s.GappedParams(), query.Len(), frag.TotalResidues(), len(frag.Subjects))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := ctx.SearchFragment(frag, space)
@@ -55,10 +58,14 @@ func BenchmarkSearchFragment(b *testing.B) {
 	b.ReportMetric(float64(frag.TotalResidues()), "residues")
 }
 
+func BenchmarkSearchFragment(b *testing.B)         { benchSearchFragment(b, 1) }
+func BenchmarkSearchFragment4Threads(b *testing.B) { benchSearchFragment(b, 4) }
+
 func BenchmarkBuildIndexProtein(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
 	query := randomProtein(rng, 300)
 	opts := DefaultProteinOptions()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		idx, err := buildIndex(query, &opts)
@@ -75,10 +82,12 @@ func BenchmarkExtendGapped(b *testing.B) {
 	rng := rand.New(rand.NewSource(8))
 	q := randomProtein(rng, 200)
 	s := mutate(rng, q, 0.15)
+	var sc dpScratch
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var work WorkCounters
-		r := extendGapped(q, s, matrix.BLOSUM62, matrix.DefaultProteinGaps, 1<<20, &work)
+		r := extendGapped(&sc, q, s, matrix.BLOSUM62, matrix.DefaultProteinGaps, 1<<20, &work)
 		if r.score <= 0 {
 			b.Fatal("extension failed")
 		}

@@ -86,38 +86,105 @@ const (
 	tbFOpen = 8 // F(i,j) opened from H(i-1,j) (vs extending F(i-1,j))
 )
 
-// dpRow is one stored traceback row covering columns [lo, lo+len(cells)).
+// dpRow is one stored traceback row covering columns [lo, lo+(end-start));
+// its cells live at scratch.cells[start:end]. Offsets rather than slices are
+// stored so the arena can reallocate while rows are accumulating.
 type dpRow struct {
-	lo    int
-	cells []byte
+	lo         int
+	start, end int
+}
+
+// dpScratch holds every buffer the gapped extension needs. It belongs to
+// one Context (one goroutine), grows monotonically, and is reused across
+// all seeds of a query, so steady-state gapped extension allocates nothing.
+type dpScratch struct {
+	prevH, prevF []int
+	curH, curF   []int
+	rows         []dpRow
+	cells        []byte // traceback cell arena, reset per extension
+
+	revQ, revS []byte // reversed-slice buffers for the leftward extension
+
+	// Two traceback op buffers, alternated between calls: gappedFromSeed
+	// keeps the rightward ops alive while the leftward extension runs.
+	opsA, opsB []EditOp
+	useB       bool
+}
+
+// ensure grows the DP rows to cover n+1 columns.
+func (sc *dpScratch) ensure(n int) {
+	if len(sc.prevH) < n+1 {
+		sc.prevH = make([]int, n+1)
+		sc.prevF = make([]int, n+1)
+		sc.curH = make([]int, n+1)
+		sc.curF = make([]int, n+1)
+	}
+}
+
+// nextOps returns the traceback op buffer to use for the next extension,
+// reset to zero length. Buffers alternate, so at most two results are live
+// at once — exactly the two half-extensions of one seed.
+func (sc *dpScratch) nextOps() []EditOp {
+	sc.useB = !sc.useB
+	if sc.useB {
+		return sc.opsB[:0]
+	}
+	return sc.opsA[:0]
+}
+
+// storeOps saves a possibly-grown op buffer back into its scratch slot.
+func (sc *dpScratch) storeOps(ops []EditOp) {
+	if sc.useB {
+		sc.opsB = ops
+	} else {
+		sc.opsA = ops
+	}
+}
+
+// reverseInto fills dst (grown from buf) with the bytes of b reversed.
+func reverseInto(buf []byte, b []byte) []byte {
+	if cap(buf) < len(b) {
+		buf = make([]byte, len(b))
+	}
+	buf = buf[:len(b)]
+	for i, c := range b {
+		buf[len(b)-1-i] = c
+	}
+	return buf
 }
 
 // extendGapped aligns query against subj from their starts with affine gaps
 // and an X-drop live-window, NCBI ALIGN_EX style. It returns the best
 // prefix-path score and the ops of the path reaching it, in forward order
 // for the given slices (callers reverse them for the leftward direction).
-func extendGapped(query, subj []byte, m *matrix.Matrix, gaps matrix.GapPenalties, xdrop int, work *WorkCounters) gappedResult {
+// The returned ops alias sc's buffers and stay valid only until the second
+// following extendGapped call on the same scratch; nil sc allocates a
+// private scratch (tests and one-shot callers).
+func extendGapped(sc *dpScratch, query, subj []byte, m *matrix.Matrix, gaps matrix.GapPenalties, xdrop int, work *WorkCounters) gappedResult {
 	if len(query) == 0 || len(subj) == 0 {
 		return gappedResult{}
+	}
+	if sc == nil {
+		sc = &dpScratch{}
 	}
 	work.GappedExtensions++
 	gapOE := gaps.Open + gaps.Extend
 	gapE := gaps.Extend
 	n := len(subj)
 
+	sc.ensure(n)
 	// prevH/prevF are valid only within [prevLo, prevHi].
-	prevH := make([]int, n+1)
-	prevF := make([]int, n+1)
-	curH := make([]int, n+1)
-	curF := make([]int, n+1)
+	prevH, prevF := sc.prevH, sc.prevF
+	curH, curF := sc.curH, sc.curF
 	prevLo, prevHi := 0, 0
 
-	rows := make([]dpRow, 1, len(query)+1)
+	rows := sc.rows[:0]
+	cells := sc.cells[:0]
 	best, bestI, bestJ := 0, 0, 0
 
 	// Row 0: leading gap in the query.
 	prevH[0], prevF[0] = 0, negInf
-	row0 := []byte{tbStop}
+	cells = append(cells, tbStop)
 	for j := 1; j <= n; j++ {
 		h := -(gaps.Open + j*gapE)
 		if best-h > xdrop {
@@ -129,10 +196,10 @@ func extendGapped(query, subj []byte, m *matrix.Matrix, gaps matrix.GapPenalties
 		if j == 1 {
 			cell |= tbEOpen
 		}
-		row0 = append(row0, cell)
+		cells = append(cells, cell)
 		prevHi = j
 	}
-	rows[0] = dpRow{lo: 0, cells: row0}
+	rows = append(rows, dpRow{lo: 0, start: 0, end: len(cells)})
 
 	getPrevH := func(j int) int {
 		if j < prevLo || j > prevHi {
@@ -149,7 +216,7 @@ func extendGapped(query, subj []byte, m *matrix.Matrix, gaps matrix.GapPenalties
 
 	for i := 1; i <= len(query); i++ {
 		row := m.Row(query[i-1])
-		cells := make([]byte, 0, prevHi-prevLo+4)
+		rowStart := len(cells)
 		// The leftmost possibly-live column this row: prevLo (via F) or
 		// prevLo+1 (via diag); include column 0 boundary only while it is
 		// reachable as a leading subject gap.
@@ -232,25 +299,30 @@ func extendGapped(query, subj []byte, m *matrix.Matrix, gaps matrix.GapPenalties
 			}
 		}
 		if newLo < 0 {
+			cells = cells[:rowStart]
 			break // the whole row fell below the X-drop line
 		}
-		rows = append(rows, dpRow{lo: startJ, cells: cells})
+		rows = append(rows, dpRow{lo: startJ, start: rowStart, end: len(cells)})
 		prevH, curH = curH, prevH
 		prevF, curF = curF, prevF
 		prevLo, prevHi = newLo, newHi
 	}
+	// Persist possibly-grown buffers for the next extension.
+	sc.rows, sc.cells = rows, cells
+	sc.prevH, sc.prevF, sc.curH, sc.curF = prevH, prevF, curH, curF
 
 	if best <= 0 {
 		return gappedResult{}
 	}
-	ops := walkTraceback(rows, bestI, bestJ, work)
+	ops := walkTraceback(sc, rows, cells, bestI, bestJ, work)
 	return gappedResult{score: best, qEnd: bestI, sEnd: bestJ, ops: ops}
 }
 
 // walkTraceback follows the stored Gotoh decisions from (bi, bj) back to the
-// origin, emitting ops in reverse and then flipping them.
-func walkTraceback(rows []dpRow, bi, bj int, work *WorkCounters) []EditOp {
-	var rev []EditOp
+// origin, emitting ops in reverse and then flipping them. The result lives
+// in one of the scratch's alternating op buffers.
+func walkTraceback(sc *dpScratch, rows []dpRow, cells []byte, bi, bj int, work *WorkCounters) []EditOp {
+	rev := sc.nextOps()
 	i, j := bi, bj
 	const (
 		inH = iota
@@ -263,10 +335,10 @@ func walkTraceback(rows []dpRow, bi, bj int, work *WorkCounters) []EditOp {
 			break
 		}
 		r := rows[i]
-		if j < r.lo || j-r.lo >= len(r.cells) {
+		if j < r.lo || j-r.lo >= r.end-r.start {
 			break
 		}
-		cell := r.cells[j-r.lo]
+		cell := cells[r.start+j-r.lo]
 		work.TracebackCells++
 		switch state {
 		case inH:
@@ -301,17 +373,14 @@ func walkTraceback(rows []dpRow, bi, bj int, work *WorkCounters) []EditOp {
 	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
 		rev[l], rev[r] = rev[r], rev[l]
 	}
+	sc.storeOps(rev)
 	return rev
 }
 
-// reverseBytes returns a reversed copy of b (used to run the leftward
-// gapped extension on reversed slices).
+// reverseBytes returns a reversed copy of b (used by one-shot callers; the
+// kernel's hot path reverses into Context scratch instead).
 func reverseBytes(b []byte) []byte {
-	out := make([]byte, len(b))
-	for i, c := range b {
-		out[len(b)-1-i] = c
-	}
-	return out
+	return reverseInto(nil, b)
 }
 
 // reverseOps reverses an op slice in place and returns it.

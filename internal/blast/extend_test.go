@@ -172,7 +172,7 @@ func TestExtendGappedMatchesReference(t *testing.T) {
 			s = randomProtein(rng, 3+rng.Intn(40))
 		}
 		var work WorkCounters
-		got := extendGapped(q, s, matrix.BLOSUM62, gaps, 1<<20, &work)
+		got := extendGapped(nil, q, s, matrix.BLOSUM62, gaps, 1<<20, &work)
 		want := refExtendScore(q, s, matrix.BLOSUM62, gaps)
 		if got.score != want {
 			t.Fatalf("trial %d: extendGapped score=%d, reference=%d\nq=%v\ns=%v",
@@ -211,8 +211,8 @@ func TestExtendGappedXDropNeverImproves(t *testing.T) {
 		q := randomProtein(rng, 5+rng.Intn(60))
 		s := mutate(rng, q, 0.25)
 		var w1, w2 WorkCounters
-		full := extendGapped(q, s, matrix.BLOSUM62, gaps, 1<<20, &w1)
-		pruned := extendGapped(q, s, matrix.BLOSUM62, gaps, 12, &w2)
+		full := extendGapped(nil, q, s, matrix.BLOSUM62, gaps, 1<<20, &w1)
+		pruned := extendGapped(nil, q, s, matrix.BLOSUM62, gaps, 12, &w2)
 		if pruned.score > full.score {
 			t.Fatalf("trial %d: pruned score %d exceeds full score %d", trial, pruned.score, full.score)
 		}
@@ -225,10 +225,10 @@ func TestExtendGappedXDropNeverImproves(t *testing.T) {
 
 func TestExtendGappedEmptyInputs(t *testing.T) {
 	var work WorkCounters
-	if r := extendGapped(nil, []byte{1, 2}, matrix.BLOSUM62, matrix.DefaultProteinGaps, 100, &work); r.score != 0 {
+	if r := extendGapped(nil, nil, []byte{1, 2}, matrix.BLOSUM62, matrix.DefaultProteinGaps, 100, &work); r.score != 0 {
 		t.Fatalf("empty query gave score %d", r.score)
 	}
-	if r := extendGapped([]byte{1, 2}, nil, matrix.BLOSUM62, matrix.DefaultProteinGaps, 100, &work); r.score != 0 {
+	if r := extendGapped(nil, []byte{1, 2}, nil, matrix.BLOSUM62, matrix.DefaultProteinGaps, 100, &work); r.score != 0 {
 		t.Fatalf("empty subject gave score %d", r.score)
 	}
 }
@@ -251,7 +251,7 @@ func TestExtendGappedQuickProperty(t *testing.T) {
 			s[i] = c % 20
 		}
 		var work WorkCounters
-		r := extendGapped(q, s, matrix.BLOSUM62, gaps, 1<<20, &work)
+		r := extendGapped(nil, q, s, matrix.BLOSUM62, gaps, 1<<20, &work)
 		if r.score < 0 {
 			return false
 		}

@@ -12,14 +12,32 @@ import (
 // and is populated with *neighbourhood* words: every word scoring ≥ T
 // against some query word registers that query position. For DNA the table
 // is a sparse map over exact 4^w words.
+//
+// Both layouts store all query positions in ONE flat arena (positions) in
+// CSR style: the protein table keeps a dense offsets array (positions of
+// word ID w live at positions[offsets[w]:offsets[w+1]]), the DNA table maps
+// word IDs to (offset, count) spans into the same arena. Compared to the
+// former [][]int32 / map[uint64][]int32 layouts this removes one slice
+// header plus repeated append growth per populated word, and keeps the
+// subject-scan loop's probe targets contiguous in memory.
 type wordIndex struct {
-	alpha     *seq.Alphabet
-	w         int
-	strict    int
-	dense     [][]int32          // protein: wordID -> query positions
-	sparse    map[uint64][]int32 // DNA: wordID -> query positions
+	alpha  *seq.Alphabet
+	w      int
+	strict int
+
+	dense     bool
+	offsets   []int32         // protein: len 20^w + 1, CSR row offsets
+	sparse    map[uint64]span // DNA: wordID -> span into positions
+	positions []int32         // flat arena of query positions
+
 	queryLen  int
 	neighbors int64 // total (word, position) registrations, for work accounting
+}
+
+// span is one word's slice of the positions arena.
+type span struct {
+	off int32
+	n   int32
 }
 
 // buildIndex constructs the lookup table for one query.
@@ -27,6 +45,10 @@ func buildIndex(query []byte, o *Options) (*wordIndex, error) {
 	alpha := o.Matrix.Alphabet()
 	idx := &wordIndex{alpha: alpha, w: o.WordSize, strict: alpha.StrictSize(), queryLen: len(query)}
 	if len(query) < o.WordSize {
+		if alpha.Kind() == seq.Protein {
+			idx.dense = true
+			idx.offsets = make([]int32, 2) // empty table; lookups see empty spans
+		}
 		return idx, nil
 	}
 	if alpha.Kind() == seq.Protein {
@@ -37,10 +59,9 @@ func buildIndex(query []byte, o *Options) (*wordIndex, error) {
 				return nil, fmt.Errorf("blast: protein word table for w=%d too large", idx.w)
 			}
 		}
-		idx.dense = make([][]int32, size)
-		idx.buildProtein(query, o)
+		idx.dense = true
+		idx.buildProtein(query, o, size)
 	} else {
-		idx.sparse = make(map[uint64][]int32, len(query))
 		idx.buildDNA(query)
 	}
 	return idx, nil
@@ -48,8 +69,10 @@ func buildIndex(query []byte, o *Options) (*wordIndex, error) {
 
 // buildProtein registers neighbourhood words for every query word. The
 // recursion enumerates candidate words position by position, pruning with
-// the maximum achievable remaining score.
-func (idx *wordIndex) buildProtein(query []byte, o *Options) {
+// the maximum achievable remaining score. Registrations are collected once
+// as flat (wordID, qPos) pairs, then counting-sorted into the CSR layout in
+// two passes (count, fill) — no per-word slices, no append churn.
+func (idx *wordIndex) buildProtein(query []byte, o *Options, size int) {
 	w := idx.w
 	m := o.Matrix
 	// rowMax[c] is the best score residue c can achieve against any strict
@@ -64,13 +87,13 @@ func (idx *wordIndex) buildProtein(query []byte, o *Options) {
 		}
 		rowMax[c] = best
 	}
-	word := make([]byte, w)
+	// Pass 0: enumerate once, packing each registration as wordID<<32|qPos.
+	var pairs []uint64
 	var rec func(qWord []byte, pos, wordID, score, maxRest int, qPos int32)
 	rec = func(qWord []byte, pos, wordID, score, maxRest int, qPos int32) {
 		if pos == w {
 			if score >= o.Threshold {
-				idx.dense[wordID] = append(idx.dense[wordID], qPos)
-				idx.neighbors++
+				pairs = append(pairs, uint64(wordID)<<32|uint64(uint32(qPos)))
 			}
 			return
 		}
@@ -81,7 +104,6 @@ func (idx *wordIndex) buildProtein(query []byte, o *Options) {
 			if score+s+rest < o.Threshold {
 				continue
 			}
-			word[pos] = byte(c)
 			rec(qWord, pos+1, wordID*idx.strict+c, score+s, rest, qPos)
 		}
 	}
@@ -101,36 +123,93 @@ func (idx *wordIndex) buildProtein(query []byte, o *Options) {
 		}
 		rec(qWord, 0, 0, 0, maxTotal, int32(i))
 	}
+	idx.neighbors = int64(len(pairs))
+
+	// Pass 1 (count): offsets[id+1] holds id's registration count.
+	idx.offsets = make([]int32, size+1)
+	for _, p := range pairs {
+		idx.offsets[p>>32+1]++
+	}
+	// Prefix-sum into row offsets.
+	for i := 1; i <= size; i++ {
+		idx.offsets[i] += idx.offsets[i-1]
+	}
+	// Pass 2 (fill): place positions with per-row cursors; restore offsets.
+	idx.positions = make([]int32, len(pairs))
+	for _, p := range pairs {
+		id := p >> 32
+		idx.positions[idx.offsets[id]] = int32(uint32(p))
+		idx.offsets[id]++
+	}
+	for i := size; i > 0; i-- {
+		idx.offsets[i] = idx.offsets[i-1]
+	}
+	idx.offsets[0] = 0
 }
 
-// buildDNA registers exact query words with a rolling word ID.
+// buildDNA registers exact query words with a rolling word ID, packing each
+// word's positions into the flat arena in two passes (count, fill).
 func (idx *wordIndex) buildDNA(query []byte) {
 	w := idx.w
-	var id uint64
 	mask := uint64(1)
 	for i := 0; i < w; i++ {
 		mask *= uint64(idx.strict)
 	}
-	valid := 0 // length of current run of strict residues
-	for i := 0; i < len(query); i++ {
-		c := query[i]
-		if int(c) >= idx.strict {
-			valid = 0
-			id = 0
-			continue
-		}
-		id = (id*uint64(idx.strict) + uint64(c)) % mask
-		valid++
-		if valid >= w {
-			start := int32(i - w + 1)
-			idx.sparse[id] = append(idx.sparse[id], start)
-			idx.neighbors++
+	idx.sparse = make(map[uint64]span, len(query))
+	// scan drives fn over every valid word of the query.
+	scan := func(fn func(id uint64, start int32)) {
+		var id uint64
+		valid := 0 // length of current run of strict residues
+		for i := 0; i < len(query); i++ {
+			c := query[i]
+			if int(c) >= idx.strict {
+				valid = 0
+				id = 0
+				continue
+			}
+			id = (id*uint64(idx.strict) + uint64(c)) % mask
+			valid++
+			if valid >= w {
+				fn(id, int32(i-w+1))
+			}
 		}
 	}
+	// Pass 1: count occurrences per word.
+	scan(func(id uint64, start int32) {
+		sp := idx.sparse[id]
+		sp.n++
+		idx.sparse[id] = sp
+		idx.neighbors++
+	})
+	// Assign arena offsets (iteration order is irrelevant: spans only need
+	// to tile the arena, and each word's fill below is query-ordered).
+	var off int32
+	for id, sp := range idx.sparse {
+		idx.sparse[id] = span{off: off, n: 0} // n doubles as the fill cursor
+		off += sp.n
+	}
+	idx.positions = make([]int32, off)
+	// Pass 2: fill, restoring each span's count via the cursor.
+	scan(func(id uint64, start int32) {
+		sp := idx.sparse[id]
+		idx.positions[sp.off+sp.n] = start
+		sp.n++
+		idx.sparse[id] = sp
+	})
 }
 
-// lookup returns the query positions seeded by the subject word ending logic
-// of scanSubject; nil when none.
-func (idx *wordIndex) lookupDense(wordID int) []int32 { return idx.dense[wordID] }
+// lookupDense returns the query positions seeded by a protein word; empty
+// when none.
+func (idx *wordIndex) lookupDense(wordID int) []int32 {
+	return idx.positions[idx.offsets[wordID]:idx.offsets[wordID+1]]
+}
 
-func (idx *wordIndex) lookupSparse(wordID uint64) []int32 { return idx.sparse[wordID] }
+// lookupSparse returns the query positions seeded by a DNA word; nil when
+// the word does not occur in the query.
+func (idx *wordIndex) lookupSparse(wordID uint64) []int32 {
+	sp, ok := idx.sparse[wordID]
+	if !ok {
+		return nil
+	}
+	return idx.positions[sp.off : sp.off+sp.n]
+}

@@ -105,7 +105,7 @@ func formatHSP(b *strings.Builder, query *seq.Sequence, subj []byte, h *HSP, m *
 	mLine := make([]byte, 0, alen)
 	sLine := make([]byte, 0, alen)
 	q, s := h.QueryFrom, h.SubjFrom
-	for _, op := range h.Trace {
+	for _, op := range h.Ops() {
 		switch op {
 		case OpSub:
 			qc, sc := query.Residues[q], subj[s]

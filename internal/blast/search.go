@@ -3,6 +3,8 @@ package blast
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"parblast/internal/seq"
 	"parblast/internal/stats"
@@ -55,7 +57,9 @@ func (s *Searcher) Options() Options { return s.opts }
 func (s *Searcher) GappedParams() stats.Params { return s.gp }
 
 // Context carries the per-query word index and reusable scratch buffers.
-// A Context belongs to one goroutine.
+// A Context belongs to one goroutine; SearchFragment may internally fan
+// subjects out to clone Contexts (one per worker goroutine), which it owns
+// and reuses across calls.
 type Context struct {
 	s     *Searcher
 	query *seq.Sequence
@@ -68,9 +72,22 @@ type Context struct {
 	stamp    []int32
 	epoch    int32
 
+	// dp is the gapped-extension scratch, reused across all seeds.
+	dp dpScratch
+	// boxes is the per-subject seed-containment scratch.
+	boxes []hspBox
+
+	// clones are the worker contexts of the intra-rank search pool, created
+	// lazily and reused across SearchFragment calls.
+	clones []*Context
+
 	// buildWork tallies index construction, charged once per query.
 	buildWork WorkCounters
 }
+
+// hspBox is the query/subject bounding box of an already-found gapped HSP,
+// used to skip seeds inside regions an extension already covered.
+type hspBox struct{ q0, q1, s0, s1 int }
 
 // NewContext creates scratch state for one goroutine.
 func (s *Searcher) NewContext() *Context {
@@ -117,11 +134,32 @@ func (c *Context) ensureDiag(n int) {
 	}
 }
 
+// searchThreads resolves the worker count for one fragment.
+func (c *Context) searchThreads(nSubjects int) int {
+	n := c.s.opts.SearchThreads
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > nSubjects {
+		n = nSubjects
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // SearchFragment runs the loaded query against every subject in the
 // fragment. The search space must describe the WHOLE database (not the
 // fragment) so that scores and E-values are identical no matter how the
 // database is partitioned — the property the parallel engines' merging
 // relies on.
+//
+// With Options.SearchThreads != 1 the subjects are sharded across a bounded
+// pool of worker goroutines (clone Contexts). Each subject's search is
+// independent and deterministic, and results are reassembled in subject
+// order before the canonical sort, so the output is byte-identical to the
+// sequential path for every thread count.
 func (c *Context) SearchFragment(frag *Fragment, space stats.SearchSpace) (*QueryResult, error) {
 	if c.query == nil {
 		return nil, fmt.Errorf("blast: SearchFragment before SetQuery")
@@ -129,34 +167,96 @@ func (c *Context) SearchFragment(frag *Fragment, space stats.SearchSpace) (*Quer
 	res := &QueryResult{QueryID: c.query.ID}
 	res.Work.Add(c.buildWork)
 	cutoffRaw := c.s.gp.ScoreForEValue(c.s.opts.EValue, space)
-	for i := range frag.Subjects {
-		sub := &frag.Subjects[i]
-		hsps := c.searchSubject(sub.Residues, cutoffRaw, &res.Work)
-		if len(hsps) == 0 {
-			continue
+
+	if nw := c.searchThreads(len(frag.Subjects)); nw > 1 {
+		c.searchParallel(frag, cutoffRaw, space, nw, res)
+	} else {
+		for i := range frag.Subjects {
+			if r := c.searchOneSubject(&frag.Subjects[i], cutoffRaw, space, &res.Work); r != nil {
+				res.Hits = append(res.Hits, r)
+			}
 		}
-		for _, h := range hsps {
-			h.BitScore = c.s.gp.BitScore(h.Score)
-			h.EValue = c.s.gp.EValue(h.Score, space)
-		}
-		res.Work.HSPsFound += int64(len(hsps))
-		SortHSPs(hsps)
-		if len(hsps) > c.s.opts.MaxHSPsPerSubject {
-			hsps = hsps[:c.s.opts.MaxHSPsPerSubject]
-		}
-		res.Hits = append(res.Hits, &SubjectResult{
-			OID:     sub.OID,
-			ID:      sub.ID,
-			Defline: sub.Defline,
-			SubjLen: len(sub.Residues),
-			HSPs:    hsps,
-		})
 	}
+
 	SortHits(res.Hits)
 	if len(res.Hits) > c.s.opts.MaxTargetSeqs {
 		res.Hits = res.Hits[:c.s.opts.MaxTargetSeqs]
 	}
 	return res, nil
+}
+
+// searchOneSubject runs the full per-subject pipeline — scan, extend,
+// statistics, HSP cap — and returns the subject's result (nil when it has
+// no surviving HSPs). It touches only this context's scratch, so distinct
+// contexts may run it concurrently on distinct subjects.
+func (c *Context) searchOneSubject(sub *Subject, cutoffRaw int, space stats.SearchSpace, work *WorkCounters) *SubjectResult {
+	hsps := c.searchSubject(sub.Residues, cutoffRaw, work)
+	if len(hsps) == 0 {
+		return nil
+	}
+	for _, h := range hsps {
+		h.BitScore = c.s.gp.BitScore(h.Score)
+		h.EValue = c.s.gp.EValue(h.Score, space)
+	}
+	work.HSPsFound += int64(len(hsps))
+	SortHSPs(hsps)
+	if len(hsps) > c.s.opts.MaxHSPsPerSubject {
+		hsps = hsps[:c.s.opts.MaxHSPsPerSubject]
+	}
+	return &SubjectResult{
+		OID:     sub.OID,
+		ID:      sub.ID,
+		Defline: sub.Defline,
+		SubjLen: len(sub.Residues),
+		HSPs:    hsps,
+	}
+}
+
+// searchParallel shards the fragment's subjects across nw worker contexts.
+// Slot i of the result array is subject i's outcome, so reassembly preserves
+// the sequential append order exactly; per-worker WorkCounters are summed in
+// worker order, which is deterministic because int64 addition is exact.
+func (c *Context) searchParallel(frag *Fragment, cutoffRaw int, space stats.SearchSpace, nw int, res *QueryResult) {
+	for len(c.clones) < nw-1 {
+		c.clones = append(c.clones, c.s.NewContext())
+	}
+	workers := make([]*Context, nw)
+	workers[0] = c
+	for i := 1; i < nw; i++ {
+		cl := c.clones[i-1]
+		cl.query, cl.idx = c.query, c.idx
+		workers[i] = cl
+	}
+
+	slots := make([]*SubjectResult, len(frag.Subjects))
+	works := make([]WorkCounters, nw)
+	// Static interleaved sharding: worker w takes subjects w, w+nw, ...
+	// Subject lengths are i.i.d. in practice, so interleaving balances load
+	// without the coordination of a shared queue.
+	var wg sync.WaitGroup
+	for w := 1; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := workers[w]
+			for i := w; i < len(frag.Subjects); i += nw {
+				slots[i] = ctx.searchOneSubject(&frag.Subjects[i], cutoffRaw, space, &works[w])
+			}
+		}(w)
+	}
+	for i := 0; i < len(frag.Subjects); i += nw {
+		slots[i] = c.searchOneSubject(&frag.Subjects[i], cutoffRaw, space, &works[0])
+	}
+	wg.Wait()
+
+	for w := range works {
+		res.Work.Add(works[w])
+	}
+	for _, r := range slots {
+		if r != nil {
+			res.Hits = append(res.Hits, r)
+		}
+	}
 }
 
 // searchSubject scans one subject for seeds and extends them.
@@ -171,9 +271,9 @@ func (c *Context) searchSubject(subj []byte, cutoffRaw int, work *WorkCounters) 
 	work.ResiduesScanned += int64(len(subj))
 
 	var hsps []*HSP
-	// boxes of already-found gapped HSPs, for seed containment skipping.
-	type box struct{ q0, q1, s0, s1 int }
-	var boxes []box
+	// Boxes of already-found gapped HSPs, for seed containment skipping;
+	// the backing array is context scratch reused across subjects.
+	boxes := c.boxes[:0]
 
 	handleHit := func(qPos, sPos int) {
 		work.SeedHits++
@@ -215,22 +315,24 @@ func (c *Context) searchSubject(subj []byte, cutoffRaw int, work *WorkCounters) 
 			h := c.gappedFromSeed(query, subj, seg.seedQ, seg.seedS, work)
 			if h != nil && h.Score >= cutoffRaw {
 				hsps = append(hsps, h)
-				boxes = append(boxes, box{h.QueryFrom, h.QueryTo, h.SubjFrom, h.SubjTo})
+				boxes = append(boxes, hspBox{h.QueryFrom, h.QueryTo, h.SubjFrom, h.SubjTo})
 			}
 		} else if seg.score >= cutoffRaw {
-			// Significant without gaps: keep as an ungapped HSP.
+			// Significant without gaps: keep as an ungapped HSP. The trace
+			// is implicit (all OpSub) — synthesized lazily at render time
+			// instead of materialized per HSP.
 			h := &HSP{
 				QueryFrom: seg.qFrom, QueryTo: seg.qTo,
 				SubjFrom: seg.sFrom, SubjTo: seg.sTo,
 				Score: seg.score,
-				Trace: make([]EditOp, seg.qTo-seg.qFrom),
 			}
 			hsps = append(hsps, h)
 		}
 	}
 
-	if c.idx.dense != nil {
+	if c.idx.dense {
 		strict := c.idx.strict
+		offsets, positions := c.idx.offsets, c.idx.positions
 		// Rolling dense word ID over strict residues.
 		valid := 0
 		id := 0
@@ -250,7 +352,7 @@ func (c *Context) searchSubject(subj []byte, cutoffRaw int, work *WorkCounters) 
 				continue
 			}
 			start := j - w + 1
-			for _, qPos := range c.idx.dense[id] {
+			for _, qPos := range positions[offsets[id]:offsets[id+1]] {
 				handleHit(int(qPos), start)
 			}
 		}
@@ -274,20 +376,23 @@ func (c *Context) searchSubject(subj []byte, cutoffRaw int, work *WorkCounters) 
 				continue
 			}
 			start := j - w + 1
-			for _, qPos := range c.idx.sparse[id] {
+			for _, qPos := range c.idx.lookupSparse(id) {
 				handleHit(int(qPos), start)
 			}
 		}
 	}
 
+	c.boxes = boxes[:0]
 	return cullContained(hsps)
 }
 
 // gappedFromSeed runs the two-directional gapped extension around a seed
 // point and assembles the combined HSP.
 func (c *Context) gappedFromSeed(query, subj []byte, seedQ, seedS int, work *WorkCounters) *HSP {
-	right := extendGapped(query[seedQ:], subj[seedS:], c.s.opts.Matrix, c.s.opts.Gaps, c.s.xdropGapped, work)
-	left := extendGapped(reverseBytes(query[:seedQ]), reverseBytes(subj[:seedS]), c.s.opts.Matrix, c.s.opts.Gaps, c.s.xdropGapped, work)
+	right := extendGapped(&c.dp, query[seedQ:], subj[seedS:], c.s.opts.Matrix, c.s.opts.Gaps, c.s.xdropGapped, work)
+	c.dp.revQ = reverseInto(c.dp.revQ, query[:seedQ])
+	c.dp.revS = reverseInto(c.dp.revS, subj[:seedS])
+	left := extendGapped(&c.dp, c.dp.revQ, c.dp.revS, c.s.opts.Matrix, c.s.opts.Gaps, c.s.xdropGapped, work)
 	score := left.score + right.score
 	if score <= 0 {
 		return nil

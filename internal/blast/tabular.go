@@ -75,7 +75,7 @@ func RenderHit(f ReportFormat, query *seq.Sequence, subjResidues []byte, r *Subj
 			gapOpens := 0
 			var prev EditOp = OpSub
 			q, s := h.QueryFrom, h.SubjFrom
-			for _, op := range h.Trace {
+			for _, op := range h.Ops() {
 				switch op {
 				case OpSub:
 					if query.Residues[q] != subjResidues[s] {

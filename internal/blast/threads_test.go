@@ -1,0 +1,146 @@
+package blast
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"parblast/internal/seq"
+)
+
+// renderAll produces the full rendered output of a result: every hit's
+// report block, in order. Byte-level comparison of this string is the
+// determinism contract the parallel engines rely on.
+func renderAll(t *testing.T, s *Searcher, query *seq.Sequence, frag *Fragment, res *QueryResult) string {
+	t.Helper()
+	var b strings.Builder
+	byOID := make(map[int][]byte)
+	for i := range frag.Subjects {
+		byOID[frag.Subjects[i].OID] = frag.Subjects[i].Residues
+	}
+	for _, hit := range res.Hits {
+		b.WriteString(RenderHit(s.Options().OutFormat, query, byOID[hit.OID], hit, s.Options().Matrix))
+	}
+	return b.String()
+}
+
+func searchWithThreads(t *testing.T, opts Options, query *seq.Sequence, frag *Fragment, threads int) (*Searcher, *QueryResult) {
+	t.Helper()
+	opts.SearchThreads = threads
+	s, err := NewSearcher(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := s.NewContext()
+	if err := ctx.SetQuery(query); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctx.SearchFragment(frag, spaceFor(s, query.Len(), frag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, res
+}
+
+// TestSearchThreadsByteIdenticalProtein is the golden-equivalence contract:
+// the intra-rank pool must not change a single output byte.
+func TestSearchThreadsByteIdenticalProtein(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	frag := testFragment(rng, 48, 350)
+	query := proteinSeq("tq", randomProtein(rng, 200))
+	// Plant homologs so the comparison covers real alignments, not just
+	// empty reports.
+	for _, oid := range []int{2, 11, 30} {
+		hom := mutate(rng, query.Residues, 0.2)
+		if len(hom) > 340 {
+			hom = hom[:340]
+		}
+		copy(frag.Subjects[oid].Residues[4:], hom)
+	}
+	opts := DefaultProteinOptions()
+
+	s1, r1 := searchWithThreads(t, opts, query, frag, 1)
+	out1 := renderAll(t, s1, query, frag, r1)
+	for _, threads := range []int{2, 3, 8} {
+		s8, r8 := searchWithThreads(t, opts, query, frag, threads)
+		out8 := renderAll(t, s8, query, frag, r8)
+		if out1 != out8 {
+			t.Fatalf("threads=%d output differs from sequential (%d vs %d bytes)", threads, len(out1), len(out8))
+		}
+		if r1.Work != r8.Work {
+			t.Fatalf("threads=%d work counters differ:\nseq: %+v\npar: %+v", threads, r1.Work, r8.Work)
+		}
+	}
+	if len(r1.Hits) == 0 {
+		t.Fatal("fixture produced no hits; equivalence test is vacuous")
+	}
+}
+
+func TestSearchThreadsByteIdenticalDNA(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	randDNA := func(n int) []byte {
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = byte(rng.Intn(4))
+		}
+		return out
+	}
+	frag := &Fragment{}
+	for i := 0; i < 24; i++ {
+		frag.Subjects = append(frag.Subjects, Subject{OID: i, ID: "d" + itoa(i), Residues: randDNA(1500)})
+	}
+	query := &seq.Sequence{ID: "dq", Residues: randDNA(260), Alpha: seq.DNAAlphabet}
+	copy(frag.Subjects[7].Residues[300:], query.Residues)
+	copy(frag.Subjects[19].Residues[900:], query.Residues[:200])
+	opts := DefaultDNAOptions()
+
+	s1, r1 := searchWithThreads(t, opts, query, frag, 1)
+	out1 := renderAll(t, s1, query, frag, r1)
+	s8, r8 := searchWithThreads(t, opts, query, frag, 8)
+	out8 := renderAll(t, s8, query, frag, r8)
+	if out1 != out8 {
+		t.Fatalf("DNA output differs: %d vs %d bytes", len(out1), len(out8))
+	}
+	if r1.Work != r8.Work {
+		t.Fatalf("DNA work counters differ:\nseq: %+v\npar: %+v", r1.Work, r8.Work)
+	}
+	if len(r1.Hits) == 0 {
+		t.Fatal("fixture produced no hits; equivalence test is vacuous")
+	}
+}
+
+// TestSearchThreadsPoolReuse runs many fragments through one context with
+// the pool on, exercising clone reuse and (under -race) the pool's memory
+// accesses.
+func TestSearchThreadsPoolReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	opts := DefaultProteinOptions()
+	opts.SearchThreads = 4
+	s, err := NewSearcher(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := s.NewContext()
+	for round := 0; round < 6; round++ {
+		frag := testFragment(rng, 20, 200)
+		query := proteinSeq("q"+itoa(round), randomProtein(rng, 150))
+		copy(frag.Subjects[round*3%20].Residues[2:], query.Residues[:150])
+		if err := ctx.SetQuery(query); err != nil {
+			t.Fatal(err)
+		}
+		res, err := ctx.SearchFragment(frag, spaceFor(s, query.Len(), frag))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Hits) == 0 {
+			t.Fatalf("round %d: planted identity not found", round)
+		}
+		for _, hit := range res.Hits {
+			for _, h := range hit.HSPs {
+				if err := h.Validate(); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+			}
+		}
+	}
+}

@@ -16,6 +16,7 @@ package blast
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"parblast/internal/matrix"
 	"parblast/internal/seq"
@@ -68,14 +69,62 @@ type HSP struct {
 	BitScore           float64
 	EValue             float64
 	// Trace holds one EditOp per alignment column, query-from to query-to.
+	// A nil Trace on an ungapped HSP means the implicit all-OpSub trace of
+	// length QueryTo-QueryFrom; render-time consumers go through Ops(),
+	// which synthesizes it from a shared arena without allocating per HSP.
 	Trace []EditOp
 }
 
+// allSubArena serves implicit ungapped traces: OpSub == 0, so any prefix of
+// a zeroed slice IS a valid all-substitution trace. Slices handed out are
+// never written to, and a too-small arena is replaced (not grown in place),
+// so outstanding slices stay valid.
+var allSubArena struct {
+	mu  sync.Mutex
+	ops []EditOp
+}
+
+func allSubTrace(n int) []EditOp {
+	allSubArena.mu.Lock()
+	if len(allSubArena.ops) < n {
+		grown := n
+		if grown < 1024 {
+			grown = 1024
+		}
+		allSubArena.ops = make([]EditOp, grown)
+	}
+	t := allSubArena.ops[:n]
+	allSubArena.mu.Unlock()
+	return t
+}
+
+// Ops returns the alignment trace, synthesizing the implicit all-OpSub
+// trace of ungapped HSPs. The returned slice must not be mutated.
+func (h *HSP) Ops() []EditOp {
+	if h.Trace == nil {
+		return allSubTrace(h.QueryTo - h.QueryFrom)
+	}
+	return h.Trace
+}
+
 // AlignLen returns the number of alignment columns.
-func (h *HSP) AlignLen() int { return len(h.Trace) }
+func (h *HSP) AlignLen() int {
+	if h.Trace == nil {
+		return h.QueryTo - h.QueryFrom
+	}
+	return len(h.Trace)
+}
 
 // Validate checks that the trace is consistent with the coordinate ranges.
 func (h *HSP) Validate() error {
+	if h.Trace == nil {
+		// Implicit ungapped trace: the spans must match exactly.
+		if h.QueryTo-h.QueryFrom != h.SubjTo-h.SubjFrom {
+			return fmt.Errorf("blast: ungapped HSP spans (%d,%d) differ",
+				h.QueryTo-h.QueryFrom, h.SubjTo-h.SubjFrom)
+		}
+		return nil
+	}
 	var q, s int
 	for _, op := range h.Trace {
 		switch op {
@@ -101,7 +150,7 @@ func (h *HSP) Validate() error {
 // given the query and subject residues and the scoring matrix.
 func (h *HSP) Identity(query, subj []byte, m *matrix.Matrix) (ident, positive, gaps int) {
 	q, s := h.QueryFrom, h.SubjFrom
-	for _, op := range h.Trace {
+	for _, op := range h.Ops() {
 		switch op {
 		case OpSub:
 			if query[q] == subj[s] {
@@ -284,6 +333,10 @@ type Options struct {
 	// seeding stage (BLAST's -F option; soft masking — extensions still
 	// use the unmasked residues).
 	FilterLowComplexity bool
+	// SearchThreads bounds the intra-rank worker pool that shards a
+	// fragment's subjects across goroutines: 0 means GOMAXPROCS, 1 forces
+	// the sequential path. Output is byte-identical for every value.
+	SearchThreads int
 	// OutFormat selects the report rendering (pairwise text by default,
 	// or the 12-column tabular format).
 	OutFormat ReportFormat

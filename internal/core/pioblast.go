@@ -109,9 +109,11 @@ type wireExtent struct {
 	SeqArrayPos int64 // file position in .pin of seqOffsets[From]
 }
 
-// jobMeta is the broadcast that seeds every worker.
+// jobMeta is the broadcast that seeds every worker. The shell is cold-path
+// gob; the query payload inside is pre-encoded with the compact codec
+// (engine.EncodeWireQueries), since it dominates the broadcast bytes.
 type jobMeta struct {
-	Queries  engine.WireQueries
+	Queries  []byte // engine.EncodeWireQueries payload
 	Title    string
 	Kind     seq.Kind
 	NumSeqs  int
@@ -244,7 +246,7 @@ func RunConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 		batch = 1
 	}
 	meta := jobMeta{
-		Queries:     engine.PackQueries(job.Queries),
+		Queries:     engine.EncodeWireQueries(engine.PackQueries(job.Queries)),
 		Title:       db.Title,
 		Kind:        db.Kind,
 		NumSeqs:     db.NumSeqs,
@@ -476,7 +478,11 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 	if err := engine.DecodeGob(r.Bcast(0, nil), &meta); err != nil {
 		return err
 	}
-	queries := meta.Queries.Unpack()
+	wq, err := engine.DecodeWireQueries(meta.Queries)
+	if err != nil {
+		return err
+	}
+	queries := wq.Unpack()
 	searcher, err := blast.NewSearcher(opts)
 	if err != nil {
 		return err

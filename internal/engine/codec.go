@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"parblast/internal/blast"
+	"parblast/internal/seq"
 )
 
 // Compact binary codecs for the hot protocol messages.
@@ -292,6 +293,42 @@ func DecodeWireHit(r *Reader) WireHit {
 		h.HSPs = append(h.HSPs, DecodeWireHSP(r))
 	}
 	return h
+}
+
+// EncodeWireQueries serializes the query broadcast payload with the compact
+// codec. The query set dominates the job-broadcast bytes; the cold jobMeta
+// shell around it stays gob, but its Queries field carries this encoding.
+func EncodeWireQueries(q WireQueries) []byte {
+	var w Writer
+	w.Uint(uint64(q.Kind))
+	w.Uint(uint64(len(q.IDs)))
+	for i := range q.IDs {
+		w.String(q.IDs[i])
+		w.String(q.Descriptions[i])
+		w.Blob(q.Residues[i])
+	}
+	return w.Bytes()
+}
+
+// DecodeWireQueries reads a query broadcast payload.
+func DecodeWireQueries(data []byte) (WireQueries, error) {
+	r := NewReader(data)
+	var q WireQueries
+	q.Kind = seq.Kind(r.Uint())
+	n := int(r.Uint())
+	if r.Err() != nil || n < 0 || n > 1<<24 {
+		r.fail("query count")
+		return q, r.Err()
+	}
+	q.IDs = make([]string, 0, n)
+	q.Descriptions = make([]string, 0, n)
+	q.Residues = make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		q.IDs = append(q.IDs, r.String())
+		q.Descriptions = append(q.Descriptions, r.String())
+		q.Residues = append(q.Residues, r.Blob())
+	}
+	return q, r.Err()
 }
 
 // EncodeInt encodes a single integer (assignment messages).

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"parblast/internal/blast"
+	"parblast/internal/seq"
 )
 
 func TestCodecPrimitivesRoundTrip(t *testing.T) {
@@ -150,5 +151,30 @@ func TestIntCodec(t *testing.T) {
 	}
 	if _, err := DecodeInt(nil); err == nil {
 		t.Fatal("empty decode accepted")
+	}
+}
+
+func TestWireQueriesCodecRoundTrip(t *testing.T) {
+	in := WireQueries{
+		Kind:         seq.Protein,
+		IDs:          []string{"q1", "q2", ""},
+		Descriptions: []string{"first query", "", "third"},
+		Residues:     [][]byte{{1, 2, 3}, {}, {19, 0, 7, 7}},
+	}
+	out, err := DecodeWireQueries(EncodeWireQueries(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.IDs) != len(in.IDs) || out.Kind != in.Kind {
+		t.Fatalf("shape mismatch: %+v", out)
+	}
+	for i := range in.IDs {
+		if out.IDs[i] != in.IDs[i] || out.Descriptions[i] != in.Descriptions[i] ||
+			!bytes.Equal(out.Residues[i], in.Residues[i]) {
+			t.Fatalf("query %d mismatch: %+v", i, out)
+		}
+	}
+	if _, err := DecodeWireQueries([]byte{0xff}); err == nil {
+		t.Fatal("truncated payload accepted")
 	}
 }

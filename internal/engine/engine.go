@@ -243,8 +243,11 @@ func PackHit(r *blast.SubjectResult, residues []byte) WireHit {
 		OID: r.OID, ID: r.ID, Defline: r.Defline, SubjLen: r.SubjLen, Residues: residues,
 	}
 	for _, h := range r.HSPs {
-		trace := make([]byte, len(h.Trace))
-		for i, op := range h.Trace {
+		// Ops() materializes the implicit all-OpSub trace of ungapped HSPs,
+		// keeping the wire bytes identical to the eager-trace era.
+		ops := h.Ops()
+		trace := make([]byte, len(ops))
+		for i, op := range ops {
 			trace[i] = byte(op)
 		}
 		w.HSPs = append(w.HSPs, WireHSP{

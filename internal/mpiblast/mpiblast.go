@@ -42,9 +42,11 @@ const (
 	tagRelease = 6
 )
 
-// jobMeta is the broadcast that seeds every worker.
+// jobMeta is the broadcast that seeds every worker. The shell is cold-path
+// gob; the query payload inside is pre-encoded with the compact codec
+// (engine.EncodeWireQueries), since it dominates the broadcast bytes.
 type jobMeta struct {
-	Queries   engine.WireQueries
+	Queries   []byte // engine.EncodeWireQueries payload
 	Title     string
 	Kind      seq.Kind
 	NumSeqs   int
@@ -190,7 +192,7 @@ func runConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 	}
 
 	meta := jobMeta{
-		Queries:   engine.PackQueries(job.Queries),
+		Queries:   engine.EncodeWireQueries(engine.PackQueries(job.Queries)),
 		Title:     db.Title,
 		Kind:      db.Kind,
 		NumSeqs:   db.NumSeqs,
@@ -226,7 +228,7 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, opts 
 
 	workers := r.Size() - 1
 	nFrags := len(meta.FragBases)
-	nQueries := len(meta.Queries.IDs)
+	nQueries := len(job.Queries)
 
 	// While the workers copy and search, the master serves assignments and
 	// collects result metadata — mostly waiting.
@@ -345,7 +347,11 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 	if err := engine.DecodeGob(r.Bcast(0, nil), &meta); err != nil {
 		return err
 	}
-	queries := meta.Queries.Unpack()
+	wq, err := engine.DecodeWireQueries(meta.Queries)
+	if err != nil {
+		return err
+	}
+	queries := wq.Unpack()
 	searcher, err := blast.NewSearcher(opts)
 	if err != nil {
 		return err

@@ -241,3 +241,33 @@ func TestAdaptiveBatchingThroughPublicAPI(t *testing.T) {
 		t.Fatal("no output")
 	}
 }
+
+func TestSearchThreadsInvarianceThroughPublicAPI(t *testing.T) {
+	seqs, queries := buildWorkload(t)
+	var outputs [][]byte
+	for _, threads := range []int{1, 8} {
+		cluster, err := parblast.NewCluster(4, parblast.PlatformAltix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := cluster.FormatDB("nr", seqs, "api nr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := parblast.DefaultProteinOptions()
+		opts.SearchThreads = threads
+		if _, err := cluster.Run(parblast.EnginePioBLAST, parblast.Search{
+			DB: db, Queries: queries, Output: "out", Options: opts,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		out, err := cluster.ReadOutput("out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, out)
+	}
+	if !bytes.Equal(outputs[0], outputs[1]) {
+		t.Fatal("SearchThreads changed engine output bytes")
+	}
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Full verification gate: build, vet, race-enabled tests, and a smoke run of
+# the kernel benchmarks (one iteration — checks they still execute, not perf).
+set -eu
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
+go test -run=- -bench=SearchFragment -benchtime=1x ./internal/blast
