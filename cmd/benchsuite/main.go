@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|fig1a|fig1b|table1|table2|fig3a|fig3b|fig4|ablations]
+//	benchsuite [-exp all|fig1a|fig1b|table1|table2|fig3a|fig3b|fig4|ablations|hetero|faults]
 //	           [-dbseqs N] [-family N] [-querybytes N]
 //	benchsuite -kernelbench [-bench-out BENCH_1.json]
 //
@@ -57,7 +57,7 @@ func runKernelBench(outPath string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig1a, fig1b, table1, table2, fig3a, fig3b, fig4, ablations, hetero")
+	exp := flag.String("exp", "all", "experiment to run: all, fig1a, fig1b, table1, table2, fig3a, fig3b, fig4, ablations, hetero, faults")
 	dbSeqs := flag.Int("dbseqs", 0, "override database sequence count")
 	family := flag.Int("family", 0, "override family size (database redundancy)")
 	queryBytes := flag.Int("querybytes", 0, "override the default ('150 KB'-equivalent) query set volume")
@@ -104,6 +104,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchsuite:", err)
 			os.Exit(1)
 		}
+		return
+	}
+	// Faults returns its own row shape (recovery overheads, not phase
+	// breakdowns), so it bypasses the generic table printer.
+	if *exp == "faults" {
+		rows, err := experiments.Faults(&lab)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+		experiments.PrintFaultRows(os.Stdout, rows)
 		return
 	}
 	r, ok := runs[*exp]

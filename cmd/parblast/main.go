@@ -40,6 +40,7 @@ func main() {
 	memBudget := flag.Int64("membudget", 0, "pioBLAST: adaptive batching memory budget in bytes (§5)")
 	searchThreads := flag.Int("search-threads", 0, "intra-rank search worker goroutines (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	timeline := flag.Bool("timeline", false, "print a per-rank phase timeline after the run")
+	crash := flag.String("crash", "", "inject a worker crash as RANK@TIME (e.g. 3@0.2); arms failure recovery")
 	flag.Parse()
 
 	if (*dbPath == "" && *dbDir == "") || *queryPath == "" {
@@ -155,6 +156,14 @@ func main() {
 	}
 	search.Options.FilterLowComplexity = *filter
 	search.Options.SearchThreads = *searchThreads
+	if *crash != "" {
+		var rank int
+		var at float64
+		if _, err := fmt.Sscanf(*crash, "%d@%f", &rank, &at); err != nil {
+			fail(fmt.Errorf("bad -crash %q (want RANK@TIME, e.g. 3@0.2): %w", *crash, err))
+		}
+		search.Faults = []parblast.Fault{{Rank: rank, At: at, Kind: parblast.FaultCrash}}
+	}
 	switch *outfmt {
 	case "pairwise":
 	case "tabular":

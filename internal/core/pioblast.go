@@ -44,6 +44,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -63,6 +64,8 @@ const (
 	tagSelect     = 12
 	tagPartReq    = 13
 	tagPartAssign = 14
+	tagReady      = 15 // worker → master: search phase finished (FT sync)
+	tagGo         = 16 // master → worker: proceed to output, or re-search parts
 )
 
 // Options selects pioBLAST variants.
@@ -93,6 +96,17 @@ type Options struct {
 	// NodeSpeeds optionally declares per-rank compute-speed factors
 	// (1 = baseline, 2 = twice as slow), modelling heterogeneous nodes.
 	NodeSpeeds []float64
+	// FaultTolerant enables the worker-failure recovery protocol: a
+	// ready/go rendezvous after the search phase in which the master
+	// detects dead workers and re-issues their VIRTUAL partitions (offset
+	// ranges — no data movement) to survivors. Enabled automatically when
+	// the MPI config schedules faults; can be forced on to measure the
+	// protocol's fault-free overhead.
+	FaultTolerant bool
+	// FaultTimeout is the failure-detection polling interval in virtual
+	// seconds (0 = 250 × NetLatency). Detection is timeout-paced but never
+	// wrong: a timeout only triggers a ground-truth liveness check.
+	FaultTimeout float64
 }
 
 // wireExtent ships one virtual-fragment extent to a worker: the ordinal
@@ -128,6 +142,10 @@ type jobMeta struct {
 	Dynamic     bool
 	QueryBatch  int
 	MemBudget   int64
+	// FT enables the ready/go failure-recovery rendezvous after the search
+	// phase; FTTimeout is the master's detection polling interval.
+	FT        bool
+	FTTimeout float64
 }
 
 // batchMetas is one worker's result metadata for a batch of queries.
@@ -174,6 +192,32 @@ func (s *selection) encode() []byte {
 		w.Int(s.Lengths[i])
 	}
 	return w.Bytes()
+}
+
+// encodeGo packs a master→worker go message: done flag plus the part
+// indices (if any) the worker must re-search on behalf of dead peers.
+func encodeGo(done bool, extras []int) []byte {
+	var w engine.Writer
+	if done {
+		w.Int(1)
+	} else {
+		w.Int(0)
+	}
+	w.Uint(uint64(len(extras)))
+	for _, pi := range extras {
+		w.Int(int64(pi))
+	}
+	return w.Bytes()
+}
+
+func decodeGo(data []byte) (done bool, extras []int, err error) {
+	r := engine.NewReader(data)
+	done = r.Int() != 0
+	n := int(r.Uint())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		extras = append(extras, int(r.Int()))
+	}
+	return done, extras, r.Err()
 }
 
 func decodeSelection(data []byte) (selection, error) {
@@ -245,6 +289,18 @@ func RunConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 	if batch < 1 {
 		batch = 1
 	}
+	// Failure recovery only covers workers: the master holds the output
+	// layout and the failure detector itself.
+	for _, f := range cfg.Faults {
+		if f.Rank == 0 && f.Kind == mpi.FaultCrash {
+			return engine.RunResult{}, fmt.Errorf("core: cannot inject a crash into rank 0 (the master)")
+		}
+	}
+	ft := opts.FaultTolerant || len(cfg.Faults) > 0
+	ftTimeout := opts.FaultTimeout
+	if ftTimeout <= 0 {
+		ftTimeout = 250 * cfg.Cost.NetLatency
+	}
 	meta := jobMeta{
 		Queries:     engine.EncodeWireQueries(engine.PackQueries(job.Queries)),
 		Title:       db.Title,
@@ -258,6 +314,8 @@ func RunConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 		Dynamic:     opts.DynamicAssignment,
 		QueryBatch:  batch,
 		MemBudget:   opts.MemoryBudgetBytes,
+		FT:          ft,
+		FTTimeout:   ftTimeout,
 	}
 	// The master reads the (small) index files to compute the partition.
 	var indexBytes int64
@@ -284,7 +342,7 @@ func RunConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 		outBytes = f.Size()
 	}
 	res := engine.Summarize(clocks, outBytes)
-	res.CommBytes, res.ShuffleBytes, res.CommMessages = cfg.Comm.Totals()
+	res.CommBytes, res.ShuffleBytes, res.CollectiveBytes, res.CommMessages = cfg.Comm.Totals()
 	return res, nil
 }
 
@@ -327,12 +385,12 @@ func exchangeVolumes(r *mpi.Rank, local []int64) []int64 {
 	all := r.AllGather(w.Bytes())
 	total := make([]int64, len(local))
 	for _, data := range all {
+		if len(data) == 0 {
+			continue // crashed rank: contributes nothing
+		}
 		rd := engine.NewReader(data)
 		for q := range total {
 			total[q] += rd.Int()
-		}
-		if rd.Err() != nil {
-			break
 		}
 	}
 	return total
@@ -347,21 +405,76 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, index
 	r.Bcast(0, engine.EncodeGob(meta))
 
 	workers := r.Size() - 1
+	alive := make([]int, 0, workers)
+	for w := 1; w <= workers; w++ {
+		alive = append(alive, w)
+	}
+	// partsOf records which virtual partitions each worker is responsible
+	// for; pending collects partitions reclaimed from crashed workers.
+	partsOf := make([][]int, workers+1)
+	var pending []int
 	if meta.Dynamic {
 		// Greedy run-time assignment of virtual fragments (§5): serve
 		// part requests until every worker has been told "done".
 		r.SetPhase(simtime.PhaseIdle)
 		next := 0
-		done := 0
-		for done < workers {
-			_, from, _ := r.Recv(mpi.AnySource, tagPartReq)
-			if next < len(meta.Parts) {
-				r.Send(from, tagPartAssign, engine.EncodeInt(next))
-				next++
-			} else {
-				r.Send(from, tagPartAssign, engine.EncodeInt(-1))
-				done++
+		if meta.FT {
+			served := make(map[int]bool)
+			for {
+				allServed := true
+				for _, w := range alive {
+					if !served[w] {
+						allServed = false
+						break
+					}
+				}
+				if allServed {
+					break
+				}
+				_, from, _, err := r.RecvTimeout(mpi.AnySource, tagPartReq, meta.FTTimeout)
+				if err != nil {
+					// Timeout (AnySource never reports a specific failure):
+					// check ground truth for crashed workers and reclaim
+					// their assignments.
+					alive, pending = reapDead(r, alive, partsOf, pending)
+					continue
+				}
+				if r.Failed(from) {
+					continue // the requester crashed after sending
+				}
+				if next < len(meta.Parts) {
+					partsOf[from] = append(partsOf[from], next)
+					r.Send(from, tagPartAssign, engine.EncodeInt(next))
+					next++
+				} else {
+					r.Send(from, tagPartAssign, engine.EncodeInt(-1))
+					served[from] = true
+				}
 			}
+		} else {
+			done := 0
+			for done < workers {
+				_, from, _ := r.Recv(mpi.AnySource, tagPartReq)
+				if next < len(meta.Parts) {
+					r.Send(from, tagPartAssign, engine.EncodeInt(next))
+					next++
+				} else {
+					r.Send(from, tagPartAssign, engine.EncodeInt(-1))
+					done++
+				}
+			}
+		}
+	} else {
+		for pi := range meta.Parts {
+			partsOf[pi%workers+1] = append(partsOf[pi%workers+1], pi)
+		}
+	}
+
+	if meta.FT {
+		var err error
+		alive, err = syncWorkers(r, meta, alive, partsOf, pending)
+		if err != nil {
+			return err
 		}
 	}
 
@@ -372,6 +485,26 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, index
 	maxTargets := searcher.Options().MaxTargetSeqs
 	out := mpiio.OpenOrCreate(r, node.Shared, job.OutputPath)
 	dbInfo := blast.DBInfo{Title: meta.Title, NumSeqs: meta.NumSeqs, TotalLen: meta.TotalLen}
+
+	// recvWorker receives from one worker; under fault tolerance a crash
+	// during the output phase is unrecoverable (the dead worker's cached
+	// blocks are gone and the layout is already partly written), so it is
+	// reported as a clean error instead of a deadlock.
+	recvWorker := func(w, tag int) ([]byte, error) {
+		if !meta.FT {
+			data, _, _ := r.Recv(w, tag)
+			return data, nil
+		}
+		for {
+			data, _, _, err := r.RecvTimeout(w, tag, meta.FTTimeout)
+			if err == nil {
+				return data, nil
+			}
+			if errors.Is(err, mpi.ErrRankFailed) {
+				return nil, fmt.Errorf("core: worker %d crashed during the output phase; recovery only covers the search phase: %w", w, err)
+			}
+		}
+	}
 
 	bounds := fixedBounds(len(job.Queries), meta.QueryBatch)
 	if meta.MemBudget > 0 {
@@ -389,8 +522,11 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, index
 			}
 		}
 		perWorker := make([]batchMetas, workers+1)
-		for w := 1; w <= workers; w++ {
-			data, _, _ := r.Recv(w, tagResults)
+		for _, w := range alive {
+			data, err := recvWorker(w, tagResults)
+			if err != nil {
+				return err
+			}
 			bm, err := decodeBatchMetas(data)
 			if err != nil {
 				return err
@@ -406,7 +542,7 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, index
 		for q := q0; q < q1; q++ {
 			var all []engine.HitMeta
 			var work blast.WorkCounters
-			for w := 1; w <= workers; w++ {
+			for _, w := range alive {
 				qm := perWorker[w].PerQuery[q-q0]
 				all = append(all, qm.Hits...)
 				work.Add(qm.Work)
@@ -439,7 +575,7 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, index
 				mpiio.Segment{Offset: cur, Length: int64(len(footer))})
 			off = cur + int64(len(footer))
 		}
-		for w := 1; w <= workers; w++ {
+		for _, w := range alive {
 			r.Send(w, tagSelect, sel[w].encode())
 		}
 		if err := out.SetView(view); err != nil {
@@ -460,6 +596,74 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, index
 	r.SetPhase(simtime.PhaseOther)
 	r.Barrier()
 	return nil
+}
+
+// reapDead removes crashed workers from the alive list, reclaiming their
+// virtual partitions into pending. Safe to call repeatedly: a reclaimed
+// worker's partsOf entry is cleared.
+func reapDead(r *mpi.Rank, alive []int, partsOf [][]int, pending []int) (live, newPending []int) {
+	live = alive[:0]
+	for _, w := range alive {
+		if r.Failed(w) {
+			pending = append(pending, partsOf[w]...)
+			partsOf[w] = nil
+			continue
+		}
+		live = append(live, w)
+	}
+	return live, pending
+}
+
+// syncWorkers runs the master side of the post-search ready/go rendezvous:
+// collect a ready message from every live worker (crashes detected by
+// timeout plus ground-truth liveness check), re-issue dead workers' virtual
+// partitions to survivors — offsets only, no data movement — and repeat
+// until a round completes with nothing left to recover. Returns the final
+// alive set.
+func syncWorkers(r *mpi.Rank, meta jobMeta, alive []int, partsOf [][]int, pending []int) ([]int, error) {
+	r.SetPhase(simtime.PhaseIdle)
+	for {
+		var survivors []int
+		for _, w := range alive {
+			for {
+				_, _, _, err := r.RecvTimeout(w, tagReady, meta.FTTimeout)
+				if err == nil {
+					survivors = append(survivors, w)
+					break
+				}
+				if errors.Is(err, mpi.ErrRankFailed) {
+					pending = append(pending, partsOf[w]...)
+					partsOf[w] = nil
+					break
+				}
+				// Timed out: the worker is alive but still searching.
+			}
+		}
+		alive = survivors
+		if len(alive) == 0 {
+			return nil, fmt.Errorf("core: all workers failed; cannot recover")
+		}
+		if len(pending) == 0 {
+			for _, w := range alive {
+				r.Send(w, tagGo, encodeGo(true, nil))
+			}
+			return alive, nil
+		}
+		// Re-issue the reclaimed partitions round-robin. Recovery is cheap
+		// by construction (§3.1): a partition is a set of offset ranges into
+		// the shared global database, so survivors just read and re-search
+		// those ranges — no fragment files to re-copy.
+		extra := make(map[int][]int)
+		for i, pi := range pending {
+			w := alive[i%len(alive)]
+			extra[w] = append(extra[w], pi)
+			partsOf[w] = append(partsOf[w], pi)
+		}
+		pending = nil
+		for _, w := range alive {
+			r.Send(w, tagGo, encodeGo(false, extra[w]))
+		}
+	}
 }
 
 // workerState is everything a worker caches between the search and output
@@ -552,6 +756,29 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 				if err := searchPart(meta.Parts[pi]); err != nil {
 					return err
 				}
+			}
+		}
+	}
+
+	// Ready/go rendezvous (fault tolerance): report the search phase done,
+	// then either proceed to output or absorb partitions reclaimed from
+	// crashed peers and search them too.
+	if meta.FT {
+		for {
+			r.SetPhase(simtime.PhaseIdle)
+			r.Send(0, tagReady, nil)
+			data, _, _ := r.Recv(0, tagGo)
+			done, extras, err := decodeGo(data)
+			if err != nil {
+				return err
+			}
+			for _, pi := range extras {
+				if err := searchPart(meta.Parts[pi]); err != nil {
+					return err
+				}
+			}
+			if done {
+				break
 			}
 		}
 	}

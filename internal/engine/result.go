@@ -21,12 +21,16 @@ type RunResult struct {
 	// OutputBytes is the size of the produced result file.
 	OutputBytes int64
 	// CommBytes totals the result-protocol payload volume (submissions,
-	// fetches, selections, broadcasts) sent by all ranks — the paper's
-	// §3.2 message-volume metric. ShuffleBytes totals the collective-I/O
-	// data shuffle (§3.3's deliberate network-for-disk trade).
-	CommBytes    int64
-	ShuffleBytes int64
-	CommMessages int64
+	// fetches, selections) sent by all ranks — the paper's §3.2
+	// message-volume metric. ShuffleBytes totals the collective-I/O data
+	// shuffle (§3.3's deliberate network-for-disk trade), and
+	// CollectiveBytes the payloads of collective operations
+	// (Bcast/AllGather/Barrier) — kept out of CommBytes so the protocol
+	// metric measures the merging protocol alone.
+	CommBytes       int64
+	ShuffleBytes    int64
+	CollectiveBytes int64
+	CommMessages    int64
 }
 
 // Summarize computes Wall and Phase from clocks.

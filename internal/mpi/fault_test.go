@@ -1,0 +1,365 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSingleRankCollectivesFree: a world of one pays no tree latency for
+// collectives (logSteps(1) must be 0, not 1 — regression for the ceil-log2
+// off-by-one that charged a lone rank one latency step per collective).
+func TestSingleRankCollectivesFree(t *testing.T) {
+	clocks, err := Run(1, testCost(), func(r *Rank) error {
+		r.Barrier()
+		got := r.Bcast(0, []byte("payload"))
+		if string(got) != "payload" {
+			return fmt.Errorf("bcast returned %q", got)
+		}
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bcast still pays the payload transfer; latency terms must be zero.
+	want := float64(len("payload")) / testCost().NetBandwidth
+	if got := clocks[0].Now(); !close(got, want) {
+		t.Fatalf("single-rank collectives advanced clock to %g, want %g (latency leaked in)", got, want)
+	}
+}
+
+func TestLogSteps(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		want float64
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}} {
+		if got := logSteps(tc.n); got != tc.want {
+			t.Errorf("logSteps(%d) = %g, want %g", tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestCollectiveBytesBucket: collective payloads must land in their own
+// CommStats bucket, not in the protocol bucket the §3.2 metric reads.
+func TestCollectiveBytesBucket(t *testing.T) {
+	comm := NewCommStats(2)
+	cfg := Config{Cost: testCost(), Comm: comm}
+	_, err := RunConfig(2, cfg, func(r *Rank) error {
+		r.Bcast(0, []byte("0123456789")) // 10 collective bytes from root
+		if r.ID() == 0 {
+			r.Send(1, 3, make([]byte, 100))                 // protocol
+			r.Send(1, ShuffleTagBase+1, make([]byte, 1000)) // shuffle
+			r.Send(1, 4, nil)                               // protocol, 0 bytes
+		} else {
+			r.Recv(0, 3)
+			r.Recv(0, ShuffleTagBase+1)
+			r.Recv(0, 4)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	protocol, shuffle, collective, messages := comm.Totals()
+	if protocol != 100 {
+		t.Errorf("protocol bytes = %d, want 100 (collective payloads leaked in?)", protocol)
+	}
+	if shuffle != 1000 {
+		t.Errorf("shuffle bytes = %d, want 1000", shuffle)
+	}
+	if collective != 10 {
+		t.Errorf("collective bytes = %d, want 10", collective)
+	}
+	// 2 collective entries + 3 sends.
+	if messages != 5 {
+		t.Errorf("messages = %d, want 5", messages)
+	}
+	p0, _, c0, _ := comm.Rank(0)
+	p1, _, c1, _ := comm.Rank(1)
+	if p0 != 100 || p1 != 0 {
+		t.Errorf("per-rank protocol = %d/%d, want 100/0", p0, p1)
+	}
+	if c0 != 10 || c1 != 0 {
+		t.Errorf("per-rank collective = %d/%d, want 10/0 (only root carries the payload)", c0, c1)
+	}
+}
+
+// TestCrashExcludedFromCollectives: survivors' Barrier completes even when
+// a scheduled crash removes a participant before it joins.
+func TestCrashExcludedFromCollectives(t *testing.T) {
+	cfg := Config{
+		Cost:   testCost(),
+		Faults: []Fault{{Rank: 2, At: 1.0, Kind: FaultCrash}},
+	}
+	clocks, err := RunConfig(3, cfg, func(r *Rank) error {
+		if r.ID() == 2 {
+			r.Advance(2) // sails past At=1; the next op crashes
+		}
+		r.Barrier()
+		if live := r.Live(); len(live) != 2 || live[0] != 0 || live[1] != 1 {
+			return fmt.Errorf("Live() = %v, want [0 1]", live)
+		}
+		if !r.Failed(2) {
+			return errors.New("Failed(2) = false after crash")
+		}
+		if ct := r.CrashTime(2); ct != 2.0 {
+			return fmt.Errorf("CrashTime(2) = %g, want 2", ct)
+		}
+		if ct := r.CrashTime(0); !math.IsInf(ct, 1) {
+			return fmt.Errorf("CrashTime(0) = %g for a live rank", ct)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dead rank's clock froze at its crash; survivors moved on.
+	if got := clocks[2].Now(); got != 2.0 {
+		t.Fatalf("victim clock = %g, want 2 (frozen at crash)", got)
+	}
+}
+
+// TestRecvTimeoutExpires: with no sender, RecvTimeout returns ErrTimeout
+// and advances the clock exactly to the deadline (polling makes progress).
+func TestRecvTimeoutExpires(t *testing.T) {
+	clocks, err := Run(2, testCost(), func(r *Rank) error {
+		if r.ID() != 0 {
+			return nil
+		}
+		data, _, _, err := r.RecvTimeout(1, 9, 0.25)
+		if !errors.Is(err, ErrTimeout) {
+			return fmt.Errorf("err = %v, want ErrTimeout", err)
+		}
+		if data != nil {
+			return fmt.Errorf("data = %v on timeout", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := clocks[0].Now(); !close(got, 0.25) {
+		t.Fatalf("clock after timeout = %g, want 0.25", got)
+	}
+}
+
+// TestRecvTimeoutFromCrashed: awaiting a specific crashed rank fails fast
+// with ErrRankFailed (wrapped, naming the crash time) instead of timing out.
+func TestRecvTimeoutFromCrashed(t *testing.T) {
+	cfg := Config{
+		Cost:   testCost(),
+		Faults: []Fault{{Rank: 1, At: 0.5, Kind: FaultCrash}},
+	}
+	_, err := RunConfig(2, cfg, func(r *Rank) error {
+		switch r.ID() {
+		case 1:
+			r.Advance(1) // dies at the next op
+			r.Barrier()
+		case 0:
+			r.Advance(2) // make sure the crash is in the past
+			_, _, _, err := r.RecvTimeout(1, 9, 100)
+			if !errors.Is(err, ErrRankFailed) {
+				return fmt.Errorf("err = %v, want ErrRankFailed", err)
+			}
+			if !strings.Contains(err.Error(), "crashed at t=") {
+				return fmt.Errorf("error %q does not name the crash time", err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecvFromCrashedAborts: a plain (deadline-free) Recv on a dead peer is
+// an unrecoverable stall; the abort must say WHO crashed, not "deadlock".
+func TestRecvFromCrashedAborts(t *testing.T) {
+	cfg := Config{
+		Cost:   testCost(),
+		Faults: []Fault{{Rank: 1, At: 0.5, Kind: FaultCrash}},
+	}
+	_, err := RunConfig(2, cfg, func(r *Rank) error {
+		if r.ID() == 1 {
+			r.Advance(1)
+			r.Barrier() // dies here
+			return nil
+		}
+		r.Recv(1, 9) // never satisfiable
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an abort error")
+	}
+	if !strings.Contains(err.Error(), "unrecovered rank failure") ||
+		!strings.Contains(err.Error(), "rank 1 crashed") {
+		t.Fatalf("abort error %q should name the crashed rank", err)
+	}
+	if strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("crash-induced stall misreported as deadlock: %q", err)
+	}
+}
+
+// TestTryRecv delivers only messages that have already arrived.
+func TestTryRecv(t *testing.T) {
+	_, err := Run(2, testCost(), func(r *Rank) error {
+		if r.ID() == 1 {
+			r.Send(0, 5, []byte("x"))
+			return nil
+		}
+		if _, _, _, ok := r.TryRecv(1, 5); ok {
+			return errors.New("TryRecv delivered a message that has not arrived yet")
+		}
+		r.Advance(1)
+		r.Yield() // hand the token over so the send happens, arrival now past
+		data, from, tag, ok := r.TryRecv(1, 5)
+		if !ok || from != 1 || tag != 5 || string(data) != "x" {
+			return fmt.Errorf("TryRecv = %q from %d tag %d ok=%v", data, from, tag, ok)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOnFaultHook: every scheduled fault fires the hook exactly once with
+// its kind and a time at or after the scheduled At.
+func TestOnFaultHook(t *testing.T) {
+	var fired []string
+	cfg := Config{
+		Cost: testCost(),
+		Faults: []Fault{
+			{Rank: 1, At: 0.5, Kind: FaultCrash},
+			{Rank: 2, At: 0.25, Kind: FaultDegrade, Slow: 4},
+		},
+		OnFault: func(rank int, kind FaultKind, at float64) {
+			fired = append(fired, fmt.Sprintf("%d:%s@%.2f", rank, kind, at))
+		},
+	}
+	_, err := RunConfig(3, cfg, func(r *Rank) error {
+		r.Advance(1)
+		r.Compute(1000)
+		if r.ID() == 1 {
+			r.Barrier() // crash fires here
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"1:crash@1.00": true, "2:degrade@1.00": true}
+	if len(fired) != 2 || !want[fired[0]] || !want[fired[1]] || fired[0] == fired[1] {
+		t.Fatalf("OnFault fired %v, want one crash and one degrade at t=1", fired)
+	}
+}
+
+// TestDegradeSlowsCompute: past At, compute costs Slow× more; work done
+// before At is unaffected.
+func TestDegradeSlowsCompute(t *testing.T) {
+	cfg := Config{
+		Cost:   testCost(),
+		Faults: []Fault{{Rank: 1, At: 0.0, Kind: FaultDegrade, Slow: 3}},
+	}
+	clocks, err := RunConfig(2, cfg, func(r *Rank) error {
+		r.Compute(1_000_000) // 1s at baseline speed
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := clocks[0].Now(); !close(got, 1.0) {
+		t.Fatalf("healthy rank clock = %g, want 1", got)
+	}
+	if got := clocks[1].Now(); !close(got, 3.0) {
+		t.Fatalf("degraded rank clock = %g, want 3", got)
+	}
+}
+
+// TestFaultValidation rejects malformed fault schedules up front.
+func TestFaultValidation(t *testing.T) {
+	body := func(r *Rank) error { return nil }
+	for _, tc := range []struct {
+		name   string
+		faults []Fault
+	}{
+		{"bad rank", []Fault{{Rank: 7, At: 1, Kind: FaultCrash}}},
+		{"negative time", []Fault{{Rank: 1, At: -1, Kind: FaultCrash}}},
+		{"double crash", []Fault{{Rank: 1, At: 1, Kind: FaultCrash}, {Rank: 1, At: 2, Kind: FaultCrash}}},
+		{"degrade without slow", []Fault{{Rank: 1, At: 1, Kind: FaultDegrade}}},
+		{"unknown kind", []Fault{{Rank: 1, At: 1, Kind: FaultKind(99)}}},
+	} {
+		cfg := Config{Cost: testCost(), Faults: tc.faults}
+		if _, err := RunConfig(2, cfg, body); err == nil {
+			t.Errorf("%s: schedule accepted", tc.name)
+		}
+	}
+}
+
+// TestRecvTimeoutDeterminism: the same fault schedule and timeout-driven
+// protocol must reproduce the exact same event history and final clocks.
+func TestRecvTimeoutDeterminism(t *testing.T) {
+	scenario := func() (string, []float64, error) {
+		var log strings.Builder
+		cfg := Config{
+			Cost:   testCost(),
+			Faults: []Fault{{Rank: 2, At: 0.12, Kind: FaultCrash}},
+		}
+		clocks, err := RunConfig(3, cfg, func(r *Rank) error {
+			switch r.ID() {
+			case 1:
+				r.Advance(0.07)
+				r.Send(0, 1, []byte("from1"))
+			case 2:
+				r.Advance(0.2)
+				r.Send(0, 1, []byte("from2")) // never sent: dead at 0.2
+			case 0:
+				got := 0
+				for tries := 0; tries < 10 && got < 2; tries++ {
+					data, from, _, err := r.RecvTimeout(AnySource, 1, 0.05)
+					switch {
+					case err == nil:
+						fmt.Fprintf(&log, "recv %q from %d at %.3f; ", data, from, r.Clock().Now())
+						got++
+					case errors.Is(err, ErrTimeout):
+						fmt.Fprintf(&log, "timeout at %.3f; ", r.Clock().Now())
+					default:
+						fmt.Fprintf(&log, "err %v; ", err)
+					}
+					if r.Failed(2) && got == 1 {
+						fmt.Fprintf(&log, "detected crash of 2; ")
+						break
+					}
+				}
+			}
+			return nil
+		})
+		finals := make([]float64, len(clocks))
+		for i, c := range clocks {
+			finals[i] = c.Now()
+		}
+		return log.String(), finals, err
+	}
+	log1, clocks1, err1 := scenario()
+	log2, clocks2, err2 := scenario()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if log1 != log2 {
+		t.Fatalf("event histories diverged:\n%s\n%s", log1, log2)
+	}
+	for i := range clocks1 {
+		if clocks1[i] != clocks2[i] {
+			t.Fatalf("rank %d final clock diverged: %g vs %g", i, clocks1[i], clocks2[i])
+		}
+	}
+	if !strings.Contains(log1, `recv "from1" from 1`) {
+		t.Fatalf("rank 1's message was not delivered: %s", log1)
+	}
+	if !strings.Contains(log1, "detected crash of 2") {
+		t.Fatalf("crash of rank 2 went undetected: %s", log1)
+	}
+}

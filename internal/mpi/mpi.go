@@ -32,6 +32,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -82,12 +83,64 @@ type message struct {
 }
 
 type collective struct {
-	op      string
-	datas   [][]byte
-	count   int
-	release float64
-	done    bool
+	op        string
+	datas     [][]byte
+	count     int
+	releaseFn func(datas [][]byte, maxClock float64) float64
+	releaseAt float64
+	done      bool
 }
+
+// FaultKind classifies a scheduled fault.
+type FaultKind int
+
+const (
+	// FaultCrash fail-stops the rank: at the first MPI operation after its
+	// clock reaches At, the rank dies. Pending messages to it are dropped,
+	// collectives complete over the surviving ranks, and peers observe the
+	// failure through RecvTimeout/Failed or a crash-aware abort.
+	FaultCrash FaultKind = iota
+	// FaultDegrade slows the rank's compute by the Slow factor from At on
+	// (a sick-but-alive node: thermal throttling, a competing job).
+	FaultDegrade
+)
+
+// String names the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultDegrade:
+		return "degrade"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault schedules one deterministic fault. Faults are part of the Config,
+// so a given schedule always reproduces the same failure history.
+type Fault struct {
+	// Rank is the victim.
+	Rank int
+	// At is the virtual time the fault takes effect. A crash fires at the
+	// victim's first MPI operation at or after At.
+	At float64
+	// Kind selects crash vs degrade.
+	Kind FaultKind
+	// Slow is the compute slowdown factor for FaultDegrade (2 = half
+	// speed). Ignored for crashes.
+	Slow float64
+}
+
+// ErrTimeout is returned by RecvTimeout when the virtual-time deadline
+// expires before a matching message arrives.
+var ErrTimeout = errors.New("mpi: receive timed out")
+
+// ErrRankFailed is returned (wrapped) by RecvTimeout when the awaited
+// source rank has crashed. Test with errors.Is.
+var ErrRankFailed = errors.New("mpi: peer rank failed")
+
+// crashPanic unwinds a crashing rank's goroutine; it is not an error.
+type crashPanic struct{ rank int }
 
 // World is the shared state of one simulated MPI job.
 type World struct {
@@ -98,26 +151,35 @@ type World struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	ranks     []*Rank
-	states    []rankState
-	recvSrc   []int // per rank, when blocked on recv
-	recvTag   []int
-	inbox     [][]message
-	coll      *collective
-	collOf    []*collective
-	seq       int64
-	active    int
-	doneCount int
-	aborted   bool
-	abortMsg  string
-	firstErr  error
+	ranks        []*Rank
+	states       []rankState
+	recvSrc      []int // per rank, when blocked on recv
+	recvTag      []int
+	recvDeadline []float64 // virtual-time deadline, +Inf for plain Recv
+	inbox        [][]message
+	coll         *collective
+	collOf       []*collective
+	seq          int64
+	active       int
+	doneCount    int
+	aborted      bool
+	abortMsg     string
+	firstErr     error
+
+	// Fault plane: per-rank schedule (immutable after setup) and outcome.
+	crashAt     []float64 // scheduled crash time, +Inf = never
+	degradeAt   []float64 // scheduled degrade time, +Inf = never
+	degradeSlow []float64
+	crashed     []bool
+	crashTime   []float64 // actual crash time (first op at/after crashAt)
 }
 
 // Rank is one simulated MPI process.
 type Rank struct {
-	id    int
-	world *World
-	clock *simtime.Clock
+	id           int
+	world        *World
+	clock        *simtime.Clock
+	degradeFired bool // OnFault for this rank's degrade already reported
 }
 
 type abortPanic struct{ msg string }
@@ -136,6 +198,13 @@ type Config struct {
 	// Comm, when non-nil, accumulates per-rank communication volume —
 	// the metric behind the paper's §3.2 message-volume-reduction claim.
 	Comm *CommStats
+	// Faults schedules deterministic rank failures (see Fault). At most one
+	// crash and one degrade per rank.
+	Faults []Fault
+	// OnFault, when non-nil, is called once per fired fault (from the
+	// victim's goroutine, outside the world lock) — the hook the trace
+	// layer uses to put fault marks on the Gantt timeline.
+	OnFault func(rank int, kind FaultKind, at float64)
 }
 
 // ShuffleTagBase splits the tag space: tags at or above it belong to the
@@ -146,21 +215,26 @@ type Config struct {
 // trade.
 const ShuffleTagBase = 1 << 20
 
-// CommStats tallies communication per rank, split into protocol traffic
-// and collective-I/O shuffle traffic. Safe for concurrent use.
+// CommStats tallies communication per rank, split into protocol traffic,
+// collective-I/O shuffle traffic, and collective-operation payloads
+// (Barrier/Bcast/Gather/AllGather contributions). The split keeps the
+// paper's §3.2 protocol-volume metric clean: collective synchronization is
+// neither merging protocol nor shuffle data. Safe for concurrent use.
 type CommStats struct {
-	mu       sync.Mutex
-	protocol []int64
-	shuffle  []int64
-	messages []int64
+	mu         sync.Mutex
+	protocol   []int64
+	shuffle    []int64
+	collective []int64
+	messages   []int64
 }
 
 // NewCommStats sizes a collector for n ranks.
 func NewCommStats(n int) *CommStats {
 	return &CommStats{
-		protocol: make([]int64, n),
-		shuffle:  make([]int64, n),
-		messages: make([]int64, n),
+		protocol:   make([]int64, n),
+		shuffle:    make([]int64, n),
+		collective: make([]int64, n),
+		messages:   make([]int64, n),
 	}
 }
 
@@ -180,27 +254,42 @@ func (c *CommStats) add(rank, tag int, bytes int64) {
 	c.mu.Unlock()
 }
 
-// Rank returns one rank's sent protocol bytes, shuffle bytes, and message
-// count.
-func (c *CommStats) Rank(rank int) (protocol, shuffle, messages int64) {
+// addCollective books a collective-operation contribution in its own
+// bucket, so Barrier/AllGather payloads never pollute the protocol metric.
+func (c *CommStats) addCollective(rank int, bytes int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if rank < len(c.collective) {
+		c.collective[rank] += bytes
+		c.messages[rank]++
+	}
+	c.mu.Unlock()
+}
+
+// Rank returns one rank's sent protocol bytes, shuffle bytes, collective
+// bytes, and message count.
+func (c *CommStats) Rank(rank int) (protocol, shuffle, collective, messages int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if rank >= len(c.protocol) {
-		return 0, 0, 0
+		return 0, 0, 0, 0
 	}
-	return c.protocol[rank], c.shuffle[rank], c.messages[rank]
+	return c.protocol[rank], c.shuffle[rank], c.collective[rank], c.messages[rank]
 }
 
 // Totals sums across ranks.
-func (c *CommStats) Totals() (protocol, shuffle, messages int64) {
+func (c *CommStats) Totals() (protocol, shuffle, collective, messages int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for i := range c.protocol {
 		protocol += c.protocol[i]
 		shuffle += c.shuffle[i]
+		collective += c.collective[i]
 		messages += c.messages[i]
 	}
-	return protocol, shuffle, messages
+	return protocol, shuffle, collective, messages
 }
 
 func (c Config) speed(rank int) float64 {
@@ -231,15 +320,54 @@ func RunConfig(n int, cfg Config, body func(*Rank) error) ([]*simtime.Clock, err
 		}
 	}
 	w := &World{
-		n:       n,
-		cost:    cost,
-		config:  cfg,
-		states:  make([]rankState, n),
-		recvSrc: make([]int, n),
-		recvTag: make([]int, n),
-		inbox:   make([][]message, n),
-		collOf:  make([]*collective, n),
-		active:  -1,
+		n:            n,
+		cost:         cost,
+		config:       cfg,
+		states:       make([]rankState, n),
+		recvSrc:      make([]int, n),
+		recvTag:      make([]int, n),
+		recvDeadline: make([]float64, n),
+		inbox:        make([][]message, n),
+		collOf:       make([]*collective, n),
+		active:       -1,
+		crashAt:      make([]float64, n),
+		degradeAt:    make([]float64, n),
+		degradeSlow:  make([]float64, n),
+		crashed:      make([]bool, n),
+		crashTime:    make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		w.recvDeadline[i] = math.Inf(1)
+		w.crashAt[i] = math.Inf(1)
+		w.degradeAt[i] = math.Inf(1)
+		w.degradeSlow[i] = 1
+		w.crashTime[i] = math.Inf(1)
+	}
+	for _, f := range cfg.Faults {
+		if f.Rank < 0 || f.Rank >= n {
+			return nil, fmt.Errorf("mpi: fault targets invalid rank %d (world size %d)", f.Rank, n)
+		}
+		if f.At < 0 || math.IsNaN(f.At) {
+			return nil, fmt.Errorf("mpi: fault for rank %d has invalid time %g", f.Rank, f.At)
+		}
+		switch f.Kind {
+		case FaultCrash:
+			if !math.IsInf(w.crashAt[f.Rank], 1) {
+				return nil, fmt.Errorf("mpi: rank %d has more than one scheduled crash", f.Rank)
+			}
+			w.crashAt[f.Rank] = f.At
+		case FaultDegrade:
+			if f.Slow <= 0 {
+				return nil, fmt.Errorf("mpi: degrade for rank %d needs Slow > 0, got %g", f.Rank, f.Slow)
+			}
+			if !math.IsInf(w.degradeAt[f.Rank], 1) {
+				return nil, fmt.Errorf("mpi: rank %d has more than one scheduled degrade", f.Rank)
+			}
+			w.degradeAt[f.Rank] = f.At
+			w.degradeSlow[f.Rank] = f.Slow
+		default:
+			return nil, fmt.Errorf("mpi: unknown fault kind %d for rank %d", int(f.Kind), f.Rank)
+		}
 	}
 	w.cond = sync.NewCond(&w.mu)
 	clocks := make([]*simtime.Clock, n)
@@ -258,7 +386,11 @@ func RunConfig(n int, cfg Config, body func(*Rank) error) ([]*simtime.Clock, err
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
-					if _, isAbort := rec.(abortPanic); !isAbort {
+					switch rec.(type) {
+					case abortPanic, crashPanic:
+						// Aborts carry their message in the world; a
+						// crash is a simulated fault, not a Go error.
+					default:
 						w.mu.Lock()
 						if w.firstErr == nil {
 							w.firstErr = fmt.Errorf("mpi: rank %d panicked: %v", r.id, rec)
@@ -351,11 +483,18 @@ func (w *World) scheduleLocked() {
 		case stateReady:
 			t = w.ranks[i].clock.Now()
 		case stateBlockedRecv:
-			m, ok := w.earliestMatchLocked(i)
-			if !ok {
+			t = math.Inf(1)
+			if m, ok := w.earliestMatchLocked(i); ok {
+				t = math.Max(w.ranks[i].clock.Now(), m.arrival)
+			}
+			// A receive with a deadline is always eligible: it wakes at
+			// the earlier of the match and the timeout.
+			if dl := w.recvDeadline[i]; dl < t {
+				t = math.Max(w.ranks[i].clock.Now(), dl)
+			}
+			if math.IsInf(t, 1) {
 				continue
 			}
-			t = math.Max(w.ranks[i].clock.Now(), m.arrival)
 		default:
 			continue
 		}
@@ -373,6 +512,12 @@ func (w *World) scheduleLocked() {
 			w.abortLocked(fmt.Sprintf("aborted after error: %v", w.firstErr))
 			return
 		}
+		// A stall with dead ranks is not a protocol deadlock: name the
+		// failure so callers see WHY their peers never answered.
+		if dump := w.crashDumpLocked(); dump != "" {
+			w.abortLocked("unrecovered rank failure (" + dump + "): " + w.stateDumpLocked())
+			return
+		}
 		w.abortLocked("deadlock: " + w.stateDumpLocked())
 		return
 	}
@@ -384,6 +529,20 @@ func (w *World) abortLocked(msg string) {
 	w.aborted = true
 	w.abortMsg = msg
 	w.cond.Broadcast()
+}
+
+// crashDumpLocked lists crashed ranks, or "" when none crashed.
+func (w *World) crashDumpLocked() string {
+	var b strings.Builder
+	for i := 0; i < w.n; i++ {
+		if w.crashed[i] {
+			if b.Len() > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "rank %d crashed at t=%.6f", i, w.crashTime[i])
+		}
+	}
+	return b.String()
 }
 
 func (w *World) stateDumpLocked() string {
@@ -447,6 +606,110 @@ func (r *Rank) blockLocked(s rankState) {
 	w.states[r.id] = stateRunning
 }
 
+// maybeCrash fires this rank's scheduled crash if its clock has reached
+// the fault time. Called at the entry of every MPI operation, so a crash
+// always happens at an operation boundary while the rank holds the
+// scheduler token — which keeps the failure history deterministic. A
+// crashing rank completes any collective it strands (the survivors don't
+// wait for the dead) and unwinds its goroutine via crashPanic.
+func (r *Rank) maybeCrash() {
+	w := r.world
+	if r.clock.Now() < w.crashAt[r.id] {
+		return
+	}
+	now := r.clock.Now()
+	w.mu.Lock()
+	if w.crashed[r.id] { // already unwinding
+		w.mu.Unlock()
+		panic(crashPanic{r.id})
+	}
+	w.crashed[r.id] = true
+	w.crashTime[r.id] = now
+	w.maybeCompleteCollectiveLocked()
+	w.mu.Unlock()
+	if w.config.OnFault != nil {
+		w.config.OnFault(r.id, FaultCrash, now)
+	}
+	panic(crashPanic{r.id})
+}
+
+// liveCountLocked counts ranks that have not crashed.
+func (w *World) liveCountLocked() int {
+	live := w.n
+	for _, c := range w.crashed {
+		if c {
+			live--
+		}
+	}
+	return live
+}
+
+// maybeCompleteCollectiveLocked finishes an in-progress collective when
+// every live rank has already joined — the path a crash takes so survivors
+// are not stranded waiting for the dead.
+func (w *World) maybeCompleteCollectiveLocked() {
+	if c := w.coll; c != nil && c.count >= w.liveCountLocked() {
+		w.completeCollectiveLocked(c)
+	}
+}
+
+// completeCollectiveLocked computes the release time over LIVE participants
+// and readies every rank parked in c.
+func (w *World) completeCollectiveLocked(c *collective) {
+	maxClock := 0.0
+	for i, rk := range w.ranks {
+		if w.crashed[i] {
+			continue
+		}
+		if t := rk.clock.Now(); t > maxClock {
+			maxClock = t
+		}
+	}
+	c.releaseAt = c.releaseFn(c.datas, maxClock)
+	c.done = true
+	w.coll = nil
+	for i := 0; i < w.n; i++ {
+		if w.states[i] == stateBlockedColl && w.collOf[i] == c {
+			w.states[i] = stateReady
+		}
+	}
+}
+
+// Failed reports whether the given rank has crashed. This is the simulated
+// failure detector's ground truth: detection protocols use timeouts to
+// decide WHEN to ask, but the answer itself is never wrong.
+func (r *Rank) Failed(rank int) bool {
+	w := r.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return rank >= 0 && rank < w.n && w.crashed[rank]
+}
+
+// Live returns the ids of all ranks that have not crashed, ascending.
+func (r *Rank) Live() []int {
+	w := r.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]int, 0, w.n)
+	for i := 0; i < w.n; i++ {
+		if !w.crashed[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CrashTime returns when the given rank crashed, or +Inf if it is alive.
+func (r *Rank) CrashTime(rank int) float64 {
+	w := r.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if rank < 0 || rank >= w.n || !w.crashed[rank] {
+		return math.Inf(1)
+	}
+	return w.crashTime[rank]
+}
+
 // ID returns the rank number (0-based).
 func (r *Rank) ID() int { return r.id }
 
@@ -463,7 +726,10 @@ func (r *Rank) Cost() simtime.CostModel { return r.world.cost }
 func (r *Rank) SetPhase(phase string) { r.clock.SetPhase(phase) }
 
 // Advance charges d virtual seconds of local work.
-func (r *Rank) Advance(d float64) { r.clock.Advance(d) }
+func (r *Rank) Advance(d float64) {
+	r.maybeCrash()
+	r.clock.Advance(d)
+}
 
 // Yield hands the scheduler token to the rank with the smallest virtual
 // clock (possibly this one again). Long compute/I-O loops that never block
@@ -472,6 +738,7 @@ func (r *Rank) Advance(d float64) { r.clock.Advance(d) }
 // yields a rank would run its whole phase in one token hold and other
 // ranks' earlier accesses would falsely queue behind its later ones.
 func (r *Rank) Yield() {
+	r.maybeCrash()
 	w := r.world
 	w.mu.Lock()
 	r.blockLocked(stateReady)
@@ -479,9 +746,27 @@ func (r *Rank) Yield() {
 }
 
 // Compute charges work units at the model's search-unit cost, scaled by
-// the rank's node-speed factor.
+// the rank's node-speed factor and any active degrade fault.
 func (r *Rank) Compute(units int64) {
-	r.clock.Advance(float64(units) * r.world.cost.SearchUnitCost * r.world.config.speed(r.id))
+	r.maybeCrash()
+	r.clock.Advance(float64(units) * r.world.cost.SearchUnitCost * r.effSpeed())
+}
+
+// effSpeed is the rank's current compute-cost factor: the configured node
+// speed, multiplied by the degrade slowdown once its fault time passes.
+func (r *Rank) effSpeed() float64 {
+	w := r.world
+	s := w.config.speed(r.id)
+	if r.clock.Now() >= w.degradeAt[r.id] {
+		if !r.degradeFired {
+			r.degradeFired = true
+			if w.config.OnFault != nil {
+				w.config.OnFault(r.id, FaultDegrade, r.clock.Now())
+			}
+		}
+		s *= w.degradeSlow[r.id]
+	}
+	return s
 }
 
 // Speed reports the rank's node-speed factor (1 = baseline).
@@ -500,6 +785,7 @@ func (r *Rank) MemCopy(n int64) {
 // IO charges a storage access of n bytes against fs, including queueing
 // behind other ranks' concurrent accesses.
 func (r *Rank) IO(fs *vfs.FS, n int64) {
+	r.maybeCrash()
 	end := fs.Access(r.clock.Now(), n)
 	r.clock.AdvanceTo(end)
 }
@@ -512,9 +798,16 @@ func (r *Rank) Send(dst, tag int, data []byte) {
 	if dst < 0 || dst >= w.n {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
+	r.maybeCrash()
 	w.config.Comm.add(r.id, tag, int64(len(data)))
 	r.clock.Advance(float64(len(data)) / w.cost.NetBandwidth)
 	w.mu.Lock()
+	if w.crashed[dst] {
+		// The destination is dead: the sender still pays its NIC
+		// occupancy (charged above), but the bytes land nowhere.
+		w.mu.Unlock()
+		return
+	}
 	w.seq++
 	w.inbox[dst] = append(w.inbox[dst], message{
 		src:     r.id,
@@ -529,12 +822,14 @@ func (r *Rank) Send(dst, tag int, data []byte) {
 // Recv blocks until a message matching (src, tag) arrives and returns its
 // payload, source, and tag. Use AnySource / AnyTag as wildcards.
 func (r *Rank) Recv(src, tag int) (data []byte, from, gotTag int) {
+	r.maybeCrash()
 	w := r.world
 	w.mu.Lock()
 	// Install the match filter BEFORE the first queue scan —
 	// earliestMatchLocked reads it, and a stale filter from a previous
 	// Recv could mis-consume another sender's message.
 	w.recvSrc[r.id], w.recvTag[r.id] = src, tag
+	w.recvDeadline[r.id] = math.Inf(1)
 	for {
 		if m, ok := w.earliestMatchLocked(r.id); ok {
 			w.takeMessageLocked(r.id, m)
@@ -548,24 +843,101 @@ func (r *Rank) Recv(src, tag int) (data []byte, from, gotTag int) {
 	}
 }
 
+// RecvTimeout is Recv with a virtual-time deadline — the primitive failure
+// detection is built from. It returns:
+//
+//   - (data, from, tag, nil) when a matching message can be delivered no
+//     later than now+timeout;
+//   - ErrRankFailed (wrapped, with the crash time) when src is a specific
+//     rank that has crashed and no deliverable match is queued;
+//   - ErrTimeout when the deadline passes first — the clock advances to
+//     the deadline, so repeated polling makes forward progress.
+//
+// Determinism: the wake-up time is min(match delivery, deadline), resolved
+// by the same earliest-event scheduler as everything else.
+func (r *Rank) RecvTimeout(src, tag int, timeout float64) (data []byte, from, gotTag int, err error) {
+	r.maybeCrash()
+	w := r.world
+	if timeout < 0 || math.IsNaN(timeout) {
+		timeout = 0
+	}
+	deadline := r.clock.Now() + timeout
+	w.mu.Lock()
+	w.recvSrc[r.id], w.recvTag[r.id] = src, tag
+	w.recvDeadline[r.id] = deadline
+	waited := false
+	for {
+		if m, ok := w.earliestMatchLocked(r.id); ok && math.Max(r.clock.Now(), m.arrival) <= deadline {
+			w.takeMessageLocked(r.id, m)
+			w.recvDeadline[r.id] = math.Inf(1)
+			w.mu.Unlock()
+			r.clock.AdvanceTo(m.arrival)
+			r.clock.Advance(float64(len(m.data)) / w.cost.NetBandwidth)
+			return m.data, m.src, m.tag, nil
+		}
+		if src != AnySource && src >= 0 && src < w.n && w.crashed[src] {
+			at := w.crashTime[src]
+			w.recvDeadline[r.id] = math.Inf(1)
+			w.mu.Unlock()
+			r.clock.AdvanceTo(at) // no-op when the crash is in our past
+			return nil, 0, 0, fmt.Errorf("mpi: recv from rank %d: %w (crashed at t=%.6f)", src, ErrRankFailed, at)
+		}
+		// Once the scheduler has woken us without a deliverable match,
+		// the deadline was the earliest event: time out.
+		if waited || r.clock.Now() >= deadline {
+			w.recvDeadline[r.id] = math.Inf(1)
+			w.mu.Unlock()
+			r.clock.AdvanceTo(deadline)
+			return nil, 0, 0, ErrTimeout
+		}
+		waited = true
+		r.blockLocked(stateBlockedRecv)
+	}
+}
+
+// TryRecv delivers a matching message that has ALREADY arrived (arrival ≤
+// the rank's current clock) without blocking or advancing time past the
+// receive cost. It reports ok=false when nothing deliverable is queued.
+func (r *Rank) TryRecv(src, tag int) (data []byte, from, gotTag int, ok bool) {
+	r.maybeCrash()
+	w := r.world
+	w.mu.Lock()
+	w.recvSrc[r.id], w.recvTag[r.id] = src, tag
+	w.recvDeadline[r.id] = math.Inf(1)
+	m, found := w.earliestMatchLocked(r.id)
+	if !found || m.arrival > r.clock.Now() {
+		w.mu.Unlock()
+		return nil, 0, 0, false
+	}
+	w.takeMessageLocked(r.id, m)
+	w.mu.Unlock()
+	r.clock.Advance(float64(len(m.data)) / w.cost.NetBandwidth)
+	return m.data, m.src, m.tag, true
+}
+
 // logSteps returns ceil(log2(n)), the tree depth collective latencies use.
+// A single rank (or none) needs no tree and pays no latency.
 func logSteps(n int) float64 {
 	if n <= 1 {
-		return 1
+		return 0
 	}
 	return math.Ceil(math.Log2(float64(n)))
 }
 
-// runCollective synchronizes all ranks; compute receives the gathered
+// runCollective synchronizes all LIVE ranks; release receives the gathered
 // per-rank payloads and the maximum entry clock, and returns the common
-// release time. Every rank returns the shared data slice.
+// release time. Every rank returns the shared data slice. Crashed ranks
+// are not waited for — their datas entries stay nil (consumers of gathered
+// payloads must tolerate that under fault schedules) — and a participant
+// that crashes at the door completes the collective for the survivors.
 func (r *Rank) runCollective(op string, data []byte, release func(datas [][]byte, maxClock float64) float64) [][]byte {
+	r.maybeCrash()
 	w := r.world
-	w.config.Comm.add(r.id, 0, int64(len(data)))
+	w.config.Comm.addCollective(r.id, int64(len(data)))
 	w.mu.Lock()
 	c := w.coll
 	if c == nil {
-		c = &collective{op: op, datas: make([][]byte, w.n)}
+		c = &collective{op: op, datas: make([][]byte, w.n), releaseFn: release}
 		w.coll = c
 	}
 	if c.op != op {
@@ -575,31 +947,16 @@ func (r *Rank) runCollective(op string, data []byte, release func(datas [][]byte
 	c.datas[r.id] = data
 	c.count++
 	w.collOf[r.id] = c
-	if c.count < w.n {
+	if c.count < w.liveCountLocked() {
 		r.blockLocked(stateBlockedColl)
 		w.mu.Unlock()
-		r.clock.AdvanceTo(c.release)
+		r.clock.AdvanceTo(c.releaseAt)
 		return c.datas
 	}
-	// Last participant: compute release time and free everyone.
-	maxClock := 0.0
-	for _, rk := range w.ranks {
-		if rk.clock.Now() > maxClock {
-			maxClock = rk.clock.Now()
-		}
-	}
-	// Only ranks in this collective are parked; our own clock is included
-	// via ourselves. (All ranks participate by definition.)
-	c.release = release(c.datas, maxClock)
-	c.done = true
-	w.coll = nil
-	for i := 0; i < w.n; i++ {
-		if i != r.id && w.states[i] == stateBlockedColl && w.collOf[i] == c {
-			w.states[i] = stateReady
-		}
-	}
+	// Last live participant: compute release time and free everyone.
+	w.completeCollectiveLocked(c)
 	w.mu.Unlock()
-	r.clock.AdvanceTo(c.release)
+	r.clock.AdvanceTo(c.releaseAt)
 	return c.datas
 }
 
@@ -669,6 +1026,9 @@ func (r *Rank) ReduceMax(values []int64) []int64 {
 	out := make([]int64, len(values))
 	first := true
 	for _, d := range datas {
+		if d == nil {
+			continue // crashed rank: no contribution
+		}
 		if len(d) != len(buf) {
 			panic("mpi: ReduceMax length mismatch across ranks")
 		}

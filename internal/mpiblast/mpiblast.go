@@ -20,6 +20,7 @@ package mpiblast
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 
 	"parblast/internal/blast"
@@ -144,6 +145,10 @@ type Options struct {
 	// quantifies how much of the baseline's output time is pure round-trip
 	// serialization versus master-side processing.
 	FetchWindow int
+	// FaultTimeout is the master's failure-detection polling interval in
+	// virtual seconds (0 = 250 × NetLatency). Only used when the MPI config
+	// schedules faults.
+	FaultTimeout float64
 }
 
 // Run executes the baseline engine on nprocs ranks (rank 0 is the master;
@@ -199,13 +204,25 @@ func runConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 		TotalLen:  db.TotalResidues,
 		FragBases: fragBases,
 	}
+	// Failure recovery only covers workers: the master holds the merged
+	// results and the failure detector itself.
+	for _, f := range cfg.Faults {
+		if f.Rank == 0 && f.Kind == mpi.FaultCrash {
+			return engine.RunResult{}, fmt.Errorf("mpiblast: cannot inject a crash into rank 0 (the master)")
+		}
+	}
+	ft := len(cfg.Faults) > 0
+	ftTimeout := opts.FaultTimeout
+	if ftTimeout <= 0 {
+		ftTimeout = 250 * cfg.Cost.NetLatency
+	}
 
 	if cfg.Comm == nil {
 		cfg.Comm = mpi.NewCommStats(nprocs)
 	}
 	clocks, err := mpi.RunConfig(nprocs, cfg, func(r *mpi.Rank) error {
 		if r.ID() == 0 {
-			return runMaster(r, nodes[0], job, meta, opts)
+			return runMaster(r, nodes[0], job, meta, opts, ft, ftTimeout)
 		}
 		return runWorker(r, nodes[r.ID()], job.Options)
 	})
@@ -217,11 +234,11 @@ func runConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 		outBytes = f.Size()
 	}
 	res := engine.Summarize(clocks, outBytes)
-	res.CommBytes, res.ShuffleBytes, res.CommMessages = cfg.Comm.Totals()
+	res.CommBytes, res.ShuffleBytes, res.CollectiveBytes, res.CommMessages = cfg.Comm.Totals()
 	return res, nil
 }
 
-func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, opts Options) error {
+func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, opts Options, ft bool, ftTimeout float64) error {
 	r.SetPhase(simtime.PhaseOther)
 	r.Advance(r.Cost().SetupCost)
 	r.Bcast(0, engine.EncodeGob(meta))
@@ -231,48 +248,166 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, opts 
 	nQueries := len(job.Queries)
 
 	// While the workers copy and search, the master serves assignments and
-	// collects result metadata — mostly waiting.
+	// collects result metadata — mostly waiting. Results are kept PER
+	// FRAGMENT (not just per query) so that a crashed worker's partial
+	// contributions can be purged and its fragments re-searched: recovery is
+	// expensive here by construction, because the replacement worker must
+	// re-COPY the physical fragment files before searching (contrast with
+	// pioBLAST, which only re-issues offset ranges).
 	r.SetPhase(simtime.PhaseIdle)
 	type masterHit struct {
 		res    *blast.SubjectResult
 		worker int
 	}
-	type qstate struct {
-		hits []masterHit
-		work blast.WorkCounters
+	fragHits := make([][][]masterHit, nFrags)
+	fragWork := make([][]blast.WorkCounters, nFrags)
+	got := make([][]bool, nFrags)
+	fragQueue := make([]int, 0, nFrags)
+	for f := 0; f < nFrags; f++ {
+		fragHits[f] = make([][]masterHit, nQueries)
+		fragWork[f] = make([]blast.WorkCounters, nQueries)
+		got[f] = make([]bool, nQueries)
+		fragQueue = append(fragQueue, f)
 	}
-	queries := make([]qstate, nQueries)
-	nextFrag := 0
-	doneWorkers := 0
-	resultMsgs := 0
-	for doneWorkers < workers || resultMsgs < nFrags*nQueries {
-		data, from, tag := r.Recv(mpi.AnySource, mpi.AnyTag)
+	alive := make([]int, 0, workers)
+	current := make([]int, workers+1) // fragment in flight per worker (-1 none)
+	doneBy := make([][]int, workers+1)
+	for w := 1; w <= workers; w++ {
+		alive = append(alive, w)
+		current[w] = -1
+	}
+	releasedSet := make(map[int]bool) // workers already told "done"
+	var parked []int                  // requesters waiting for a possible requeue
+	remaining := nFrags * nQueries    // (fragment, query) results outstanding
+
+	release := func(w int) {
+		r.Send(w, tagAssign, engine.EncodeInt(-1))
+		releasedSet[w] = true
+	}
+	assign := func(w int) bool {
+		if len(fragQueue) == 0 {
+			return false
+		}
+		f := fragQueue[0]
+		fragQueue = fragQueue[1:]
+		current[w] = f
+		r.Send(w, tagAssign, engine.EncodeInt(f))
+		return true
+	}
+	// purgeDead removes crashed workers, reclaims every fragment they
+	// searched or were searching, and serves parked requesters from the
+	// replenished queue.
+	purgeDead := func() {
+		live := alive[:0]
+		for _, w := range alive {
+			if !r.Failed(w) {
+				live = append(live, w)
+				continue
+			}
+			lost := append([]int(nil), doneBy[w]...)
+			if current[w] >= 0 {
+				lost = append(lost, current[w])
+			}
+			for _, f := range lost {
+				for q := 0; q < nQueries; q++ {
+					if got[f][q] {
+						got[f][q] = false
+						fragHits[f][q] = nil
+						fragWork[f][q] = blast.WorkCounters{}
+						remaining++
+					}
+				}
+				fragQueue = append(fragQueue, f)
+			}
+			doneBy[w] = nil
+			current[w] = -1
+			delete(releasedSet, w)
+		}
+		alive = live
+		keep := parked[:0]
+		for _, w := range parked {
+			if r.Failed(w) {
+				continue
+			}
+			if assign(w) {
+				continue
+			}
+			if remaining == 0 {
+				release(w)
+				continue
+			}
+			keep = append(keep, w)
+		}
+		parked = keep
+	}
+
+	for remaining > 0 || len(releasedSet) < len(alive) {
+		var data []byte
+		var from, tag int
+		if ft {
+			var err error
+			data, from, tag, err = r.RecvTimeout(mpi.AnySource, mpi.AnyTag, ftTimeout)
+			if err != nil {
+				// Timed out: check ground truth for crashed workers.
+				purgeDead()
+				if len(alive) == 0 {
+					return fmt.Errorf("mpiblast: all workers failed; cannot recover")
+				}
+				continue
+			}
+			if r.Failed(from) {
+				continue // stale message from a crashed worker
+			}
+		} else {
+			data, from, tag = r.Recv(mpi.AnySource, mpi.AnyTag)
+		}
 		switch tag {
 		case tagWorkReq:
-			if nextFrag < nFrags {
-				r.Send(from, tagAssign, engine.EncodeInt(nextFrag))
-				nextFrag++
-			} else {
-				r.Send(from, tagAssign, engine.EncodeInt(-1))
-				doneWorkers++
+			if cur := current[from]; cur >= 0 {
+				// A worker only asks again once its previous fragment's
+				// results are fully submitted.
+				doneBy[from] = append(doneBy[from], cur)
+				current[from] = -1
 			}
+			if assign(from) {
+				break
+			}
+			if ft && remaining > 0 {
+				// Queue empty but results outstanding: park the requester —
+				// a crashed peer's fragment may yet need a new home.
+				parked = append(parked, from)
+				break
+			}
+			release(from)
 		case tagResults:
 			msg, err := decodeResultsMsg(data)
 			if err != nil {
 				return err
 			}
+			if got[msg.Fragment][msg.Query] {
+				break // duplicate after a requeue race; first submission wins
+			}
 			// Splicing a fragment's alignments into the master's result
 			// structures is real work on the master's critical path.
 			r.SetPhase(simtime.PhaseOutput)
 			r.Advance(r.Cost().ResultMsgCost + float64(len(msg.Hits))*r.Cost().MergeItemCost)
-			st := &queries[msg.Query]
+			hits := make([]masterHit, 0, len(msg.Hits))
 			for _, wh := range msg.Hits {
 				res, _ := wh.Unpack()
-				st.hits = append(st.hits, masterHit{res: res, worker: msg.Worker})
+				hits = append(hits, masterHit{res: res, worker: msg.Worker})
 			}
-			st.work.Add(msg.Work)
+			got[msg.Fragment][msg.Query] = true
+			fragHits[msg.Fragment][msg.Query] = hits
+			fragWork[msg.Fragment][msg.Query] = msg.Work
 			r.SetPhase(simtime.PhaseIdle)
-			resultMsgs++
+			remaining--
+			if remaining == 0 {
+				// Everything is in: release any parked requesters.
+				for _, w := range parked {
+					release(w)
+				}
+				parked = nil
+			}
 		default:
 			return fmt.Errorf("mpiblast: master got unexpected tag %d from %d", tag, from)
 		}
@@ -287,13 +422,39 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, opts 
 	maxTargets := searcher.Options().MaxTargetSeqs
 	out := mpiio.OpenOrCreate(r, node.Shared, job.OutputPath)
 	dbInfo := blast.DBInfo{Title: meta.Title, NumSeqs: meta.NumSeqs, TotalLen: meta.TotalLen}
+	// fetchRecv collects one fetched hit; under fault injection a crash at
+	// this point is unrecoverable (the hit data lives only in the dead
+	// worker's memory), so it surfaces as a clean error.
+	fetchRecv := func(w int) ([]byte, error) {
+		if !ft {
+			residues, _, _ := r.Recv(w, tagHitData)
+			return residues, nil
+		}
+		for {
+			residues, _, _, err := r.RecvTimeout(w, tagHitData, ftTimeout)
+			if err == nil {
+				return residues, nil
+			}
+			if errors.Is(err, mpi.ErrRankFailed) {
+				return nil, fmt.Errorf("mpiblast: worker %d crashed during the output phase; recovery only covers the search phase: %w", w, err)
+			}
+		}
+	}
 	var off int64
 	for qi, q := range job.Queries {
-		st := &queries[qi]
-		r.Advance(float64(len(st.hits)) * r.Cost().MergeItemCost)
-		byOID := make(map[int]masterHit, len(st.hits))
-		metas := make([]engine.HitMeta, 0, len(st.hits))
-		for _, mh := range st.hits {
+		// Concatenate this query's hits in fragment order — deterministic
+		// regardless of result arrival order or crash recovery (MergeHits
+		// imposes a total order anyway).
+		var qhits []masterHit
+		var qwork blast.WorkCounters
+		for f := 0; f < nFrags; f++ {
+			qhits = append(qhits, fragHits[f][qi]...)
+			qwork.Add(fragWork[f][qi])
+		}
+		r.Advance(float64(len(qhits)) * r.Cost().MergeItemCost)
+		byOID := make(map[int]masterHit, len(qhits))
+		metas := make([]engine.HitMeta, 0, len(qhits))
+		for _, mh := range qhits {
 			byOID[mh.res.OID] = mh
 			metas = append(metas, engine.MetaFromResult(mh.worker, mh.res, 0))
 		}
@@ -319,7 +480,10 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, opts 
 				sent++
 			}
 			h := merged[done]
-			residues, _, _ := r.Recv(h.Worker, tagHitData)
+			residues, err := fetchRecv(h.Worker)
+			if err != nil {
+				return err
+			}
 			mh := byOID[h.OID]
 			block := blast.RenderHit(outFormat, q, residues, mh.res, job.Options.Matrix)
 			r.FormatCost(int64(len(block)))
@@ -327,12 +491,12 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, opts 
 			text.WriteString(block)
 		}
 		space := engine.SearchSpaceFor(searcher, q.Len(), meta.TotalLen, meta.NumSeqs)
-		text.WriteString(blast.RenderFooter(outFormat, searcher.GappedParams(), space, st.work))
+		text.WriteString(blast.RenderFooter(outFormat, searcher.GappedParams(), space, qwork))
 		r.FormatCost(int64(text.Len()) / 8) // header/summary/footer rendering
 		out.WriteAt(text.Bytes(), off)
 		off += int64(text.Len())
 	}
-	for w := 1; w <= workers; w++ {
+	for _, w := range alive {
 		r.Send(w, tagRelease, nil)
 	}
 	r.SetPhase(simtime.PhaseOther)

@@ -156,9 +156,10 @@ func (f *File) WriteCollective(data []byte) error {
 		return fmt.Errorf("mpiio: data length %d != view length %d", len(data), f.view.TotalLength())
 	}
 	r := f.rank
-	n := r.Size()
 
-	// Phase 0: agree on the aggregate extent.
+	// Phase 0: agree on the aggregate extent. Crashed ranks contribute nil
+	// to the AllGather; everyone skips them identically, so the surviving
+	// ranks still agree on participants, domains, and message pattern.
 	var lo, hi int64 = 1<<62 - 1, -1
 	for _, s := range f.view.Segments {
 		if s.Length == 0 {
@@ -175,9 +176,22 @@ func (f *File) WriteCollective(data []byte) error {
 	putI64(bounds[0:], lo)
 	putI64(bounds[8:], hi)
 	all := r.AllGather(bounds)
+	type bound struct {
+		rank   int
+		lo, hi int64
+	}
+	var parts []bound // live participants, ascending rank
+	selfIdx := -1
 	var gLo, gHi int64 = 1<<62 - 1, -1
-	for _, b := range all {
+	for i, b := range all {
+		if len(b) < 16 {
+			continue // crashed rank: no bounds
+		}
 		l, h := getI64(b[0:]), getI64(b[8:])
+		if i == r.ID() {
+			selfIdx = len(parts)
+		}
+		parts = append(parts, bound{rank: i, lo: l, hi: h})
 		if h < 0 {
 			continue // that rank writes nothing
 		}
@@ -193,10 +207,11 @@ func (f *File) WriteCollective(data []byte) error {
 	}
 
 	// Phase 1: choose aggregators — as many as the file system sustains
-	// concurrently, at most the world size.
+	// concurrently, at most the participant count. Aggregator a is the
+	// a-th live participant (rank a when nobody crashed).
 	numAgg := f.fs.Profile().Channels
-	if numAgg > n {
-		numAgg = n
+	if numAgg > len(parts) {
+		numAgg = len(parts)
 	}
 	if numAgg < 1 {
 		numAgg = 1
@@ -242,16 +257,32 @@ func (f *File) WriteCollective(data []byte) error {
 			chunk = chunk[take:]
 		}
 	}
+	// A rank ships to aggregator a only when its own extent can overlap
+	// a's domain — both sides compute this from the gathered bounds, so
+	// the skip rule is symmetric and no zero-byte messages are exchanged
+	// (they used to go to EVERY aggregator, paying latency for nothing).
+	overlaps := func(blo, bhi int64, a int) bool {
+		if bhi < 0 {
+			return false // empty view: nothing to ship
+		}
+		d0, d1 := domainOf(a)
+		return blo < d1 && d0 < bhi
+	}
 	for a := 0; a < numAgg; a++ {
-		dst := a // aggregator a is rank a
+		dst := parts[a].rank
 		if dst == r.ID() {
 			continue // keep local pieces local (no self-message cost)
+		}
+		if !overlaps(lo, hi, a) {
+			continue // none of my data can land in this domain
 		}
 		r.Send(dst, tagBase+1, myPieces[a])
 	}
 
-	// Phase 3: aggregators collect, coalesce, and write.
-	if r.ID() < numAgg {
+	// Phase 3: aggregators collect, coalesce, and write. The receive set
+	// mirrors the send rule: only participants whose extent overlaps my
+	// domain will ship anything.
+	if selfIdx >= 0 && selfIdx < numAgg {
 		var spans []aggSpan
 		addRecords := func(buf []byte) {
 			for len(buf) > 0 {
@@ -261,12 +292,12 @@ func (f *File) WriteCollective(data []byte) error {
 				buf = buf[16+length:]
 			}
 		}
-		addRecords(myPieces[r.ID()])
-		for src := 0; src < n; src++ {
-			if src == r.ID() {
+		addRecords(myPieces[selfIdx])
+		for _, p := range parts {
+			if p.rank == r.ID() || !overlaps(p.lo, p.hi, selfIdx) {
 				continue
 			}
-			buf, _, _ := r.Recv(src, tagBase+1)
+			buf, _, _ := r.Recv(p.rank, tagBase+1)
 			addRecords(buf)
 		}
 		// Coalesce into maximal contiguous runs.

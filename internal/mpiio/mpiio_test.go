@@ -302,3 +302,39 @@ func TestCollectiveDeterministicTiming(t *testing.T) {
 		}
 	}
 }
+
+// TestWriteCollectiveSkipsEmptyShuffleMessages: with each rank's view
+// exactly tiling its own aggregator domain, no shuffle data needs to move —
+// and no zero-byte messages may be exchanged either (they used to go to
+// every aggregator, paying latency and message count for nothing).
+func TestWriteCollectiveSkipsEmptyShuffleMessages(t *testing.T) {
+	const n = 3
+	fs := vfs.MustNew(vfs.XFSLike()) // 32 channels: every rank aggregates
+	comm := mpi.NewCommStats(n)
+	cfg := mpi.Config{Cost: testCost(), Comm: comm}
+	_, err := mpi.RunConfig(n, cfg, func(r *mpi.Rank) error {
+		f := OpenOrCreate(r, fs, "aligned")
+		off := int64(r.ID() * 4)
+		if err := f.SetView(ContiguousView(off, 4)); err != nil {
+			return err
+		}
+		payload := bytes.Repeat([]byte{byte('a' + r.ID())}, 4)
+		return f.WriteCollective(payload)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("aligned")
+	if string(got) != "aaaabbbbcccc" {
+		t.Fatalf("file = %q", got)
+	}
+	_, shuffle, _, messages := comm.Totals()
+	if shuffle != 0 {
+		t.Fatalf("aligned views shuffled %d bytes, want 0", shuffle)
+	}
+	// Only the collectives remain: one AllGather and one Barrier entry per
+	// rank. Zero-byte point-to-point messages would inflate this.
+	if want := int64(2 * n); messages != want {
+		t.Fatalf("message count = %d, want %d (zero-byte shuffle messages not skipped?)", messages, want)
+	}
+}

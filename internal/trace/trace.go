@@ -18,16 +18,39 @@ type Span struct {
 	From, To float64
 }
 
+// Event is an instantaneous occurrence on a rank's timeline (a fault
+// firing, a recovery decision).
+type Event struct {
+	Name string
+	At   float64
+}
+
 // Collector accumulates phase spans from many ranks. It is safe for
 // concurrent use (ranks report from their own goroutines).
 type Collector struct {
-	mu    sync.Mutex
-	ranks map[int][]Span
+	mu     sync.Mutex
+	ranks  map[int][]Span
+	events map[int][]Event
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{ranks: make(map[int][]Span)}
+	return &Collector{ranks: make(map[int][]Span), events: make(map[int][]Event)}
+}
+
+// RecordEvent adds a point event to a rank's timeline (rendered as an 'X'
+// on the Gantt chart). The mpi layer's OnFault hook feeds this.
+func (c *Collector) RecordEvent(rank int, name string, at float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events[rank] = append(c.events[rank], Event{Name: name, At: at})
+}
+
+// Events returns a copy of one rank's point events.
+func (c *Collector) Events(rank int) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events[rank]...)
 }
 
 // Record adds one interval to a rank's timeline, coalescing it with the
@@ -57,13 +80,21 @@ func (c *Collector) Observer(rank int) func(phase string, from, to float64) {
 	}
 }
 
-// Ranks returns the recorded rank ids in order.
+// Ranks returns the recorded rank ids in order (ranks with only point
+// events included).
 func (c *Collector) Ranks() []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	seen := make(map[int]bool, len(c.ranks))
 	out := make([]int, 0, len(c.ranks))
 	for r := range c.ranks {
+		seen[r] = true
 		out = append(out, r)
+	}
+	for r := range c.events {
+		if !seen[r] {
+			out = append(out, r)
+		}
 	}
 	sort.Ints(out)
 	return out
@@ -76,7 +107,7 @@ func (c *Collector) Spans(rank int) []Span {
 	return append([]Span(nil), c.ranks[rank]...)
 }
 
-// End returns the latest recorded time.
+// End returns the latest recorded time (spans or events).
 func (c *Collector) End() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -84,6 +115,13 @@ func (c *Collector) End() float64 {
 	for _, spans := range c.ranks {
 		if n := len(spans); n > 0 && spans[n-1].To > end {
 			end = spans[n-1].To
+		}
+	}
+	for _, evs := range c.events {
+		for _, e := range evs {
+			if e.At > end {
+				end = e.At
+			}
 		}
 	}
 	return end
@@ -121,7 +159,7 @@ func (c *Collector) Render(w io.Writer, width int) {
 		fmt.Fprintln(w, "trace: empty timeline")
 		return
 	}
-	fmt.Fprintf(w, "timeline 0 .. %.3f virtual seconds  (C=copy I=input S=search O=output -=other, blank=idle)\n", end)
+	fmt.Fprintf(w, "timeline 0 .. %.3f virtual seconds  (C=copy I=input S=search O=output -=other, blank=idle, X=event)\n", end)
 	for _, rank := range c.Ranks() {
 		row := make([]byte, width)
 		for i := range row {
@@ -137,6 +175,14 @@ func (c *Collector) Render(w io.Writer, width int) {
 			for i := from; i <= to && i < width; i++ {
 				row[i] = g
 			}
+		}
+		// Point events overwrite phase glyphs: they are the thing to see.
+		for _, e := range c.Events(rank) {
+			i := int(e.At / end * float64(width))
+			if i >= width {
+				i = width - 1
+			}
+			row[i] = 'X'
 		}
 		fmt.Fprintf(w, "rank %3d |%s|\n", rank, string(row))
 	}
@@ -156,6 +202,9 @@ func (c *Collector) Summary(w io.Writer) {
 		var parts []string
 		for _, p := range order {
 			parts = append(parts, fmt.Sprintf("%s=%.3f", p, totals[p]))
+		}
+		for _, e := range c.Events(rank) {
+			parts = append(parts, fmt.Sprintf("%s@%.3f", e.Name, e.At))
 		}
 		fmt.Fprintf(w, "rank %3d: %s\n", rank, strings.Join(parts, " "))
 	}

@@ -112,3 +112,40 @@ func TestGlyphs(t *testing.T) {
 		t.Fatal("glyph mapping wrong")
 	}
 }
+
+// TestEventsOnTimeline: point events (fault marks) render as 'X' over the
+// phase glyphs, appear in the summary, and extend Ranks/End when a rank has
+// only events.
+func TestEventsOnTimeline(t *testing.T) {
+	c := NewCollector()
+	c.Record(0, "search", 0, 10)
+	c.RecordEvent(0, "crash", 5)
+	c.RecordEvent(2, "degrade", 12) // rank with no spans at all
+
+	if got := c.Ranks(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Ranks() = %v, want [0 2]", got)
+	}
+	if got := c.End(); got != 12 {
+		t.Fatalf("End() = %g, want 12 (event past all spans)", got)
+	}
+	evs := c.Events(0)
+	if len(evs) != 1 || evs[0].Name != "crash" || evs[0].At != 5 {
+		t.Fatalf("Events(0) = %v", evs)
+	}
+
+	var buf bytes.Buffer
+	c.Render(&buf, 24)
+	out := buf.String()
+	if !strings.Contains(out, "X") {
+		t.Fatalf("render missing event mark:\n%s", out)
+	}
+	if !strings.Contains(out, "X=event") {
+		t.Fatalf("legend missing event glyph:\n%s", out)
+	}
+
+	buf.Reset()
+	c.Summary(&buf)
+	if !strings.Contains(buf.String(), "crash@5.000") {
+		t.Fatalf("summary missing event:\n%s", buf.String())
+	}
+}

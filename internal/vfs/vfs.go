@@ -60,6 +60,34 @@ func RAMDisk() Profile {
 	return Profile{Name: "ram", Latency: 1e-6, Bandwidth: 4e9, Channels: 64}
 }
 
+// FaultPlan schedules deterministic transient I/O errors: selected
+// accesses fail Failures times before succeeding, and each failed attempt
+// costs the profile latency plus an exponentially growing backoff wait.
+// Which accesses fault is decided by operation ordinal (1-based, in the
+// file system's deterministic virtual-time access order), so a plan always
+// reproduces the same retry history.
+type FaultPlan struct {
+	// FirstOp is the 1-based ordinal of the first faulted access.
+	FirstOp int64
+	// Every faults each Every-th access from FirstOp on (0 = only FirstOp).
+	Every int64
+	// Count caps the number of faulted accesses (0 = no cap).
+	Count int64
+	// Failures is how many attempts fail before the access succeeds.
+	Failures int
+	// Backoff is the wait after the first failed attempt, doubling per
+	// subsequent retry (exponential backoff).
+	Backoff float64
+}
+
+// Validate rejects unusable plans.
+func (p FaultPlan) Validate() error {
+	if p.FirstOp < 1 || p.Every < 0 || p.Count < 0 || p.Failures < 0 || p.Backoff < 0 {
+		return fmt.Errorf("vfs: invalid fault plan %+v", p)
+	}
+	return nil
+}
+
 // FS is one simulated file system: a namespace of in-memory files plus a
 // channel pool for timing.
 type FS struct {
@@ -72,6 +100,11 @@ type FS struct {
 	bytesRead    int64
 	bytesWritten int64
 	ops          int64
+	// fault injection
+	faults      *FaultPlan
+	faultedOps  int64
+	retries     int64
+	backoffTime float64
 }
 
 // New creates an empty file system with the given performance profile.
@@ -120,9 +153,58 @@ func (fs *FS) accessLocked(start float64, size int64) float64 {
 	if fs.channels[best] > begin {
 		begin = fs.channels[best]
 	}
+	// Transient faults: the op pays each failed attempt's latency plus an
+	// exponentially growing backoff wait before the attempt that succeeds.
+	if fs.faultedLocked() {
+		fs.faultedOps++
+		delay := fs.faults.Backoff
+		for i := 0; i < fs.faults.Failures; i++ {
+			fs.retries++
+			fs.backoffTime += delay
+			begin += fs.profile.Latency + delay
+			delay *= 2
+		}
+	}
 	end := begin + fs.profile.Latency + float64(size)/fs.profile.Bandwidth
 	fs.channels[best] = end
 	return end
+}
+
+// faultedLocked decides whether the current access (ordinal fs.ops,
+// already incremented) is scheduled to fault.
+func (fs *FS) faultedLocked() bool {
+	p := fs.faults
+	if p == nil || p.Failures == 0 || fs.ops < p.FirstOp {
+		return false
+	}
+	if p.Count > 0 && fs.faultedOps >= p.Count {
+		return false
+	}
+	d := fs.ops - p.FirstOp
+	if p.Every > 0 {
+		return d%p.Every == 0
+	}
+	return d == 0
+}
+
+// InjectFaults installs a transient-error schedule (replacing any previous
+// one). Pass a zero-Failures plan to disable injection.
+func (fs *FS) InjectFaults(p FaultPlan) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.faults = &p
+	return nil
+}
+
+// FaultStats reports how many accesses faulted, the total failed attempts
+// (retries), and the cumulative backoff wait charged.
+func (fs *FS) FaultStats() (faultedOps, retries int64, backoffTime float64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.faultedOps, fs.retries, fs.backoffTime
 }
 
 // Stats reports cumulative operation counts and byte volumes.
@@ -132,12 +214,23 @@ func (fs *FS) Stats() (ops, bytesRead, bytesWritten int64) {
 	return fs.ops, fs.bytesRead, fs.bytesWritten
 }
 
-// Create makes (or truncates) a file and returns it.
+// Create makes (or truncates) a file and returns it. An existing file is
+// truncated IN PLACE: handles other ranks already hold keep addressing the
+// same file (previously a fresh File object replaced the map entry and old
+// handles silently wrote to an orphan).
 func (fs *FS) Create(path string) *File {
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	f := &File{name: path, fs: fs}
-	fs.files[path] = f
+	f, ok := fs.files[path]
+	if !ok {
+		f = &File{name: path, fs: fs}
+		fs.files[path] = f
+		fs.mu.Unlock()
+		return f
+	}
+	// Truncate outside fs.mu: File methods take f.mu before fs.mu (for
+	// stats), so holding fs.mu here would invert the lock order.
+	fs.mu.Unlock()
+	f.Truncate(0)
 	return f
 }
 

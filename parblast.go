@@ -60,6 +60,10 @@ type (
 	DB = formatdb.DB
 	// TraceCollector records per-rank phase timelines (see Cluster.Trace).
 	TraceCollector = trace.Collector
+	// Fault schedules one deterministic rank failure (see Search.Faults).
+	Fault = mpi.Fault
+	// FaultKind selects crash vs degrade.
+	FaultKind = mpi.FaultKind
 )
 
 // Molecule kinds.
@@ -72,6 +76,16 @@ const (
 const (
 	FormatPairwise = blast.FormatPairwise
 	FormatTabular  = blast.FormatTabular
+)
+
+// Fault kinds.
+const (
+	// FaultCrash fail-stops the victim at its first MPI operation at or
+	// after the scheduled time.
+	FaultCrash = mpi.FaultCrash
+	// FaultDegrade slows the victim's compute by the Slow factor from the
+	// scheduled time on.
+	FaultDegrade = mpi.FaultDegrade
 )
 
 // Re-exported constructors.
@@ -249,6 +263,10 @@ type Search struct {
 	Fragments int
 	// Pio selects pioBLAST variants; ignored by other engines.
 	Pio PioOptions
+	// Faults schedules deterministic rank failures (crashes, degrades).
+	// Scheduling any fault arms the engines' failure-recovery protocols;
+	// fault firings land on the trace timeline as events.
+	Faults []Fault
 }
 
 // Run executes the search with the chosen engine and returns the timing
@@ -272,9 +290,13 @@ func (c *Cluster) Run(eng Engine, s Search) (Result, error) {
 		OutputPath: s.Output,
 		Fragments:  s.Fragments,
 	}
-	cfg := mpi.Config{Cost: c.cost, Speeds: s.Pio.NodeSpeeds}
+	cfg := mpi.Config{Cost: c.cost, Speeds: s.Pio.NodeSpeeds, Faults: s.Faults}
 	if c.trace != nil {
 		cfg.Observer = c.trace.Observer
+		tr := c.trace
+		cfg.OnFault = func(rank int, kind mpi.FaultKind, at float64) {
+			tr.RecordEvent(rank, kind.String(), at)
+		}
 	}
 	switch eng {
 	case EngineSequential:

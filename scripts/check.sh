@@ -1,10 +1,21 @@
 #!/usr/bin/env sh
-# Full verification gate: build, vet, race-enabled tests, and a smoke run of
-# the kernel benchmarks (one iteration — checks they still execute, not perf).
+# Full verification gate: formatting, build, vet, race-enabled tests, a
+# smoke run of the kernel benchmarks (one iteration — checks they still
+# execute, not perf), and an examples build + quickstart smoke run.
 set -eu
 cd "$(dirname "$0")/.."
+
+# gofmt produces no output when everything is formatted; any path printed
+# is a failure.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: unformatted files:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 go build ./...
 go vet ./...
 go test -race ./...
 go test -run=- -bench=SearchFragment -benchtime=1x ./internal/blast
+go run ./examples/quickstart >/dev/null
