@@ -5,13 +5,14 @@
 // Usage:
 //
 //	benchsuite [-exp all|fig1a|fig1b|table1|table2|fig3a|fig3b|fig4|ablations|hetero|faults]
-//	           [-dbseqs N] [-family N] [-querybytes N]
+//	           [-dbseqs N] [-family N] [-querybytes N] [-report suite.json]
 //	benchsuite -kernelbench [-bench-out BENCH_1.json]
 //
 // Times are virtual seconds from the cluster simulation; see EXPERIMENTS.md
-// for the paper-vs-measured comparison. -kernelbench instead measures the
-// search kernel itself (wall-clock ns/op and allocs/op via
-// testing.Benchmark) and writes the perf-trajectory record.
+// for the paper-vs-measured comparison. -report additionally writes the
+// rows as a versioned machine-readable suite artifact (internal/report).
+// -kernelbench instead measures the search kernel itself (wall-clock ns/op
+// and allocs/op via testing.Benchmark) and writes the perf-trajectory record.
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	"parblast/internal/blast"
 	"parblast/internal/experiments"
+	"parblast/internal/report"
 )
 
 // seedBaseline is the kernel benchmark record of the growth seed (pre-CSR,
@@ -56,6 +58,39 @@ func runKernelBench(outPath string) error {
 	return nil
 }
 
+// suiteRows flattens experiment rows into the artifact's row shape.
+func suiteRows(rows []experiments.Row) []report.SuiteRow {
+	out := make([]report.SuiteRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, report.SuiteRow{
+			Label:      r.Label,
+			Engine:     r.Engine,
+			Procs:      r.Procs,
+			Fragments:  r.Fragments,
+			QueryBytes: r.QueryBytes,
+			Summary:    report.SummaryOf(r.Result),
+		})
+	}
+	return out
+}
+
+// faultSuiteRows flattens fault-tolerance rows; the faulted run's summary
+// carries the I/O retry/backoff stats.
+func faultSuiteRows(rows []experiments.FaultRow) []report.SuiteRow {
+	out := make([]report.SuiteRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, report.SuiteRow{
+			Label:   r.Engine,
+			Engine:  r.Engine,
+			Procs:   r.Procs,
+			Summary: report.SummaryOf(r.Result),
+		})
+	}
+	return out
+}
+
+const faultsTitle = "Fault tolerance: worker crash at mid-search + transient I/O errors"
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, fig1a, fig1b, table1, table2, fig3a, fig3b, fig4, ablations, hetero, faults")
 	dbSeqs := flag.Int("dbseqs", 0, "override database sequence count")
@@ -63,12 +98,17 @@ func main() {
 	queryBytes := flag.Int("querybytes", 0, "override the default ('150 KB'-equivalent) query set volume")
 	kernelBench := flag.Bool("kernelbench", false, "run the search-kernel micro-benchmarks and write the perf-trajectory JSON")
 	benchOut := flag.String("bench-out", "BENCH_1.json", "output path for -kernelbench")
+	reportPath := flag.String("report", "", "write a machine-readable JSON suite artifact to this path")
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
 
 	if *kernelBench {
 		if err := runKernelBench(*benchOut); err != nil {
-			fmt.Fprintln(os.Stderr, "benchsuite:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
@@ -84,48 +124,77 @@ func main() {
 		lab.QuerySizes[2] = *queryBytes
 	}
 
-	runs := map[string]struct {
-		title string
-		fn    func(*experiments.Lab) ([]experiments.Row, error)
-	}{
-		"fig1a":     {"Figure 1(a): mpiBLAST time distribution", experiments.Fig1a},
-		"fig1b":     {"Figure 1(b): fragment-count sensitivity (32 procs)", experiments.Fig1b},
-		"table1":    {"Table 1: phase breakdown at 32 processes", experiments.Table1},
-		"table2":    {"Table 2: query size vs output size", experiments.Table2},
-		"fig3a":     {"Figure 3(a): node scalability (Altix/XFS)", experiments.Fig3a},
-		"fig3b":     {"Figure 3(b): output scalability at 62 processes", experiments.Fig3b},
-		"fig4":      {"Figure 4: node scalability (blade/NFS)", experiments.Fig4},
-		"ablations": {"Ablations: output mode, pruning, granularity", experiments.Ablations},
-		"hetero":    {"Heterogeneous cluster: static vs dynamic partitioning", experiments.Hetero},
-	}
-
-	if *exp == "all" {
-		if err := experiments.All(os.Stdout, &lab); err != nil {
-			fmt.Fprintln(os.Stderr, "benchsuite:", err)
-			os.Exit(1)
+	suite := report.NewSuite(*exp)
+	switch *exp {
+	case "all":
+		for _, spec := range experiments.Specs() {
+			rows, err := spec.Run(&lab)
+			if err != nil {
+				fail(fmt.Errorf("%s: %w", spec.Title, err))
+			}
+			experiments.PrintRows(os.Stdout, spec.Title, rows)
+			suite.Experiments = append(suite.Experiments, report.Experiment{
+				Name: spec.Name, Title: spec.Title, Rows: suiteRows(rows),
+			})
 		}
-		return
-	}
-	// Faults returns its own row shape (recovery overheads, not phase
-	// breakdowns), so it bypasses the generic table printer.
-	if *exp == "faults" {
+		prep, err := experiments.PrepCost(&lab)
+		if err != nil {
+			fail(fmt.Errorf("prep cost: %w", err))
+		}
+		experiments.PrintPrepRows(os.Stdout, prep)
+		faults, err := experiments.Faults(&lab)
+		if err != nil {
+			fail(fmt.Errorf("faults: %w", err))
+		}
+		experiments.PrintFaultRows(os.Stdout, faults)
+		suite.Experiments = append(suite.Experiments, report.Experiment{
+			Name: "faults", Title: faultsTitle, Rows: faultSuiteRows(faults),
+		})
+	case "faults":
+		// Faults returns its own row shape (recovery overheads, not phase
+		// breakdowns), so it bypasses the generic table printer.
 		rows, err := experiments.Faults(&lab)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchsuite:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		experiments.PrintFaultRows(os.Stdout, rows)
-		return
+		suite.Experiments = append(suite.Experiments, report.Experiment{
+			Name: "faults", Title: faultsTitle, Rows: faultSuiteRows(rows),
+		})
+	default:
+		var spec *experiments.Spec
+		for _, s := range experiments.Specs() {
+			if s.Name == *exp {
+				s := s
+				spec = &s
+				break
+			}
+		}
+		if spec == nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		rows, err := spec.Run(&lab)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintRows(os.Stdout, spec.Title, rows)
+		suite.Experiments = append(suite.Experiments, report.Experiment{
+			Name: spec.Name, Title: spec.Title, Rows: suiteRows(rows),
+		})
 	}
-	r, ok := runs[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "benchsuite: unknown experiment %q\n", *exp)
-		os.Exit(2)
+
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := suite.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("suite report → %s\n", *reportPath)
 	}
-	rows, err := r.fn(&lab)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchsuite:", err)
-		os.Exit(1)
-	}
-	experiments.PrintRows(os.Stdout, r.title, rows)
 }

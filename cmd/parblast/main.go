@@ -7,7 +7,8 @@
 //
 //	parblast -db nr.fasta -query queries.fasta -out results.txt \
 //	         [-engine pio|mpi|seq] [-procs 32] [-platform altix|blade|ideal] \
-//	         [-fragments N] [-early-prune] [-independent-output]
+//	         [-fragments N] [-early-prune] [-independent-output] \
+//	         [-report run.json] [-trace-out trace.json] [-timeline]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"parblast"
 	"parblast/internal/fasta"
+	runreport "parblast/internal/report"
 )
 
 func main() {
@@ -41,6 +43,8 @@ func main() {
 	searchThreads := flag.Int("search-threads", 0, "intra-rank search worker goroutines (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	timeline := flag.Bool("timeline", false, "print a per-rank phase timeline after the run")
 	crash := flag.String("crash", "", "inject a worker crash as RANK@TIME (e.g. 3@0.2); arms failure recovery")
+	reportPath := flag.String("report", "", "write a machine-readable JSON run report to this path")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable) to this path")
 	flag.Parse()
 
 	if (*dbPath == "" && *dbDir == "") || *queryPath == "" {
@@ -89,8 +93,12 @@ func main() {
 		fail(err)
 	}
 	var collector *parblast.TraceCollector
-	if *timeline {
+	if *timeline || *traceOut != "" {
 		collector = cluster.Trace()
+	}
+	var registry *parblast.MetricsRegistry
+	if *reportPath != "" {
+		registry = cluster.Metrics()
 	}
 	var db *parblast.DB
 	if *dbDir != "" {
@@ -192,7 +200,47 @@ func main() {
 		fmt.Printf("total=%.2fs  search share=%.1f%%\n", res.Wall, res.SearchFraction()*100)
 	}
 	fmt.Printf("report: %d bytes → %s\n", len(report), *outPath)
-	if collector != nil {
+	if *reportPath != "" {
+		info := runreport.RunInfo{
+			Engine:     eng.String(),
+			Platform:   platform.String(),
+			Procs:      *procs,
+			Queries:    len(queries),
+			DBSeqs:     db.NumSeqs,
+			DBResidues: db.TotalResidues,
+		}
+		doc := runreport.Build(info, res, registry)
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := doc.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("run report → %s\n", *reportPath)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		meta := map[string]string{
+			"engine":   eng.String(),
+			"platform": platform.String(),
+			"procs":    fmt.Sprintf("%d", *procs),
+		}
+		if err := collector.WriteChromeTrace(f, meta); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("chrome trace → %s (load at ui.perfetto.dev)\n", *traceOut)
+	}
+	if collector != nil && *timeline {
 		fmt.Println()
 		collector.Render(os.Stdout, 100)
 	}

@@ -343,6 +343,7 @@ func RunConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 	}
 	res := engine.Summarize(clocks, outBytes)
 	res.CommBytes, res.ShuffleBytes, res.CollectiveBytes, res.CommMessages = cfg.Comm.Totals()
+	res.AddIOFaults(nodes)
 	return res, nil
 }
 
@@ -549,6 +550,7 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, index
 			}
 			r.Advance(float64(len(all)) * r.Cost().MergeItemCost)
 			merged := engine.MergeHits(all, maxTargets)
+			engine.RecordMerge(r.Metrics(), r.ID(), len(all), len(merged))
 
 			query := job.Queries[q]
 			header := blast.RenderHeader(job.Options.OutFormat, meta.Kind, query, dbInfo)
@@ -653,6 +655,7 @@ func syncWorkers(r *mpi.Rank, meta jobMeta, alive []int, partsOf [][]int, pendin
 		// by construction (§3.1): a partition is a set of offset ranges into
 		// the shared global database, so survivors just read and re-search
 		// those ranges — no fragment files to re-copy.
+		r.Metrics().Counter("engine.parts_reissued", r.ID()).Add(int64(len(pending)))
 		extra := make(map[int][]int)
 		for i, pi := range pending {
 			w := alive[i%len(alive)]
@@ -726,6 +729,7 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 				return err
 			}
 			r.Compute(res.Work.Units())
+			engine.RecordWork(r.Metrics(), r.ID(), res.Work)
 			st.hits[qi] = append(st.hits[qi], res.Hits...)
 			st.work[qi].Add(res.Work)
 			r.Yield()
@@ -845,6 +849,7 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 			}
 			bm.PerQuery = append(bm.PerQuery, qm)
 		}
+		r.Metrics().Counter("engine.blocks_rendered", r.ID()).Add(int64(len(blocks)))
 		r.Send(0, tagResults, bm.encode())
 
 		// Selection: assemble the chosen blocks in offset order and write.
@@ -864,8 +869,10 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 			key := [2]int{sel.Queries[i], sel.OIDs[i]}
 			block, ok := blocks[key]
 			if !ok {
+				r.Metrics().Counter("engine.cache_misses", r.ID()).Inc()
 				return fmt.Errorf("core: master selected unknown hit q=%d OID=%d", key[0], key[1])
 			}
+			r.Metrics().Counter("engine.cache_hits", r.ID()).Inc()
 			if int64(len(block)) != sel.Lengths[i] {
 				return fmt.Errorf("core: block size mismatch for q=%d OID=%d: %d vs %d",
 					key[0], key[1], len(block), sel.Lengths[i])
@@ -874,6 +881,7 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 			buf = append(buf, block...)
 			r.MemCopy(int64(len(block)))
 		}
+		r.Metrics().Counter("engine.blocks_dropped", r.ID()).Add(int64(len(blocks) - len(idx)))
 		if err := outFile.SetView(view); err != nil {
 			return err
 		}

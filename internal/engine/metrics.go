@@ -1,0 +1,52 @@
+package engine
+
+import (
+	"parblast/internal/blast"
+	"parblast/internal/metrics"
+	"parblast/internal/vfs"
+)
+
+// RecordWork folds one fragment search's kernel work counters into the
+// telemetry registry under the blast.* namespace. Called by the engines
+// right after a search returns — the kernel itself stays metrics-free, its
+// WorkCounters are already the deterministic ground truth.
+func RecordWork(reg *metrics.Registry, rank int, w blast.WorkCounters) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("blast.residues_scanned", rank).Add(w.ResiduesScanned)
+	reg.Counter("blast.seed_hits", rank).Add(w.SeedHits)
+	reg.Counter("blast.ungapped_extensions", rank).Add(w.UngappedExtensions)
+	reg.Counter("blast.gapped_extensions", rank).Add(w.GappedExtensions)
+	reg.Counter("blast.hsps_found", rank).Add(w.HSPsFound)
+	reg.Counter("blast.index_words", rank).Add(w.IndexWords)
+}
+
+// RecordMerge counts the hits kept versus dropped by one MergeHits
+// selection — the blast-layer "HSPs kept/dropped" view of result merging.
+func RecordMerge(reg *metrics.Registry, rank, candidates, kept int) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("blast.hsps_kept", rank).Add(int64(kept))
+	reg.Counter("blast.hsps_dropped", rank).Add(int64(candidates - kept))
+}
+
+// AddIOFaults folds the fault statistics of every distinct file system the
+// run could touch into the result (the shared FS appears in every node, so
+// it is counted once).
+func (r *RunResult) AddIOFaults(nodes []*vfs.Node) {
+	seen := make(map[*vfs.FS]bool)
+	for _, n := range nodes {
+		for _, fs := range []*vfs.FS{n.Shared, n.Local} {
+			if fs == nil || seen[fs] {
+				continue
+			}
+			seen[fs] = true
+			faulted, retries, backoff := fs.FaultStats()
+			r.IOFaultedOps += faulted
+			r.IORetries += retries
+			r.IOBackoff += backoff
+		}
+	}
+}

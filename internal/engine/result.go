@@ -31,6 +31,13 @@ type RunResult struct {
 	ShuffleBytes    int64
 	CollectiveBytes int64
 	CommMessages    int64
+	// IOFaultedOps, IORetries, and IOBackoff surface vfs fault injection in
+	// run summaries: accesses that hit a transient fault, the failed
+	// attempts paid retrying them, and the cumulative backoff wait charged
+	// (summed over every file system the run touched).
+	IOFaultedOps int64
+	IORetries    int64
+	IOBackoff    float64
 }
 
 // Summarize computes Wall and Phase from clocks.

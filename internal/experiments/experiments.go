@@ -414,15 +414,19 @@ func Hetero(lab *Lab) ([]Row, error) {
 	return rows, nil
 }
 
-// FaultRow is one engine's failure-recovery measurement.
+// FaultRow is one engine's fault-tolerance measurement: either a worker
+// crash (recovery protocol) or a transient-I/O schedule (storage retries).
 type FaultRow struct {
 	Engine    string
 	Procs     int
-	CrashAt   float64 // virtual time of the injected worker crash
+	CrashAt   float64 // virtual time of the injected worker crash (0 = I/O faults only)
 	FaultFree float64 // wall time without faults (recovery protocol armed)
-	Crashed   float64 // wall time with the crash
-	Overhead  float64 // Crashed − FaultFree: the cost of recovery
-	Identical bool    // crashed-run output byte-identical to the oracle
+	Faulted   float64 // wall time with the fault schedule
+	Overhead  float64 // Faulted − FaultFree: the cost of absorbing the faults
+	Identical bool    // faulted-run output byte-identical to the oracle
+	// Result is the faulted run's full result; the vfs transient-fault
+	// stats (IOFaultedOps/IORetries/IOBackoff) surface through it.
+	Result engine.RunResult
 }
 
 // faultQueryBytes is the query volume of the recovery scenario: small on
@@ -433,8 +437,9 @@ type FaultRow struct {
 const faultQueryBytes = 500
 
 // runFaultSpec executes one engine on a fresh cluster with the given fault
-// schedule and returns the result plus the produced output bytes.
-func (l *Lab) runFaultSpec(eng string, procs int, faults []mpi.Fault) (engine.RunResult, []byte, error) {
+// schedule — crashes (mpi layer) and/or transient I/O errors on the shared
+// store (vfs layer) — and returns the result plus the produced output bytes.
+func (l *Lab) runFaultSpec(eng string, procs int, faults []mpi.Fault, ioPlan *vfs.FaultPlan) (engine.RunResult, []byte, error) {
 	// A dedicated platform for the recovery scenario: a SAN-class shared
 	// store with enough channels that all workers acquire data in
 	// parallel. On the serialized blade NFS the copy phase staggers the
@@ -466,6 +471,23 @@ func (l *Lab) runFaultSpec(eng string, procs int, faults []mpi.Fault) (engine.Ru
 	// exactly one partition and the recovery cost is a single clean
 	// re-acquire + re-search in both engines.
 	nFrags := procs - 1
+	if eng == "mpi" {
+		if _, err := mpiblast.PrepareFragments(nodes[0].Shared, "nr", nFrags); err != nil {
+			return engine.RunResult{}, nil, err
+		}
+	}
+	if ioPlan != nil {
+		// Schedule the plan relative to the RUN's first shared-store access:
+		// FirstOp in the plan is run-relative, so shift it past the accesses
+		// setup (formatdb, fragment prep) already charged. Injection after
+		// setup keeps every faulted ordinal inside the measured run.
+		p := *ioPlan
+		ops, _, _ := nodes[0].Shared.Stats()
+		p.FirstOp += ops
+		if err := nodes[0].Shared.InjectFaults(p); err != nil {
+			return engine.RunResult{}, nil, err
+		}
+	}
 	job := &engine.Job{
 		DBBase:     "nr",
 		Queries:    queries,
@@ -477,9 +499,6 @@ func (l *Lab) runFaultSpec(eng string, procs int, faults []mpi.Fault) (engine.Ru
 	var res engine.RunResult
 	switch eng {
 	case "mpi":
-		if _, err := mpiblast.PrepareFragments(nodes[0].Shared, "nr", nFrags); err != nil {
-			return engine.RunResult{}, nil, err
-		}
 		res, err = mpiblast.RunOpts(nodes, procs, cfg, job, mpiblast.Options{})
 	case "pio":
 		// Arm the recovery protocol in the baseline too, so the overhead
@@ -504,7 +523,10 @@ func (l *Lab) runFaultSpec(eng string, procs int, faults []mpi.Fault) (engine.Ru
 // still produce byte-identical output. The recovery-cost gap is the point:
 // pioBLAST re-issues the dead worker's VIRTUAL partition (offset ranges
 // into the global database), while mpiBLAST's replacement worker must
-// re-copy the physical fragment files before re-searching.
+// re-copy the physical fragment files before re-searching. A second pair of
+// rows ("mpi+io"/"pio+io") injects transient errors into the shared store
+// instead: both engines must absorb the vfs retry/backoff latency with
+// byte-identical output, and the retry totals surface in the row.
 func Faults(lab *Lab) ([]FaultRow, error) {
 	const procs = 8
 	// The oracle: the sequential engine's output on the same job.
@@ -535,7 +557,7 @@ func Faults(lab *Lab) ([]FaultRow, error) {
 
 	var rows []FaultRow
 	for _, eng := range []string{"mpi", "pio"} {
-		free, freeOut, err := lab.runFaultSpec(eng, procs, nil)
+		free, freeOut, err := lab.runFaultSpec(eng, procs, nil, nil)
 		if err != nil {
 			return nil, fmt.Errorf("faults %s baseline: %w", eng, err)
 		}
@@ -550,7 +572,7 @@ func Faults(lab *Lab) ([]FaultRow, error) {
 		at := 0.75 * (free.Wall - free.Phase.Output)
 		crashed, crashedOut, err := lab.runFaultSpec(eng, procs, []mpi.Fault{
 			{Rank: procs - 1, At: at, Kind: mpi.FaultCrash},
-		})
+		}, nil)
 		if err != nil {
 			return nil, fmt.Errorf("faults %s crash: %w", eng, err)
 		}
@@ -559,26 +581,53 @@ func Faults(lab *Lab) ([]FaultRow, error) {
 			Procs:     procs,
 			CrashAt:   at,
 			FaultFree: free.Wall,
-			Crashed:   crashed.Wall,
+			Faulted:   crashed.Wall,
 			Overhead:  crashed.Wall - free.Wall,
 			Identical: bytes.Equal(crashedOut, oracle),
+			Result:    crashed,
+		})
+		// Transient I/O errors on the shared store (retry + exponential
+		// backoff in the vfs layer): output must be unchanged, the cost is
+		// pure latency, and the retry/backoff totals surface through
+		// engine.RunResult's I/O fault stats.
+		ioFaulted, ioOut, err := lab.runFaultSpec(eng, procs, nil, &vfs.FaultPlan{
+			FirstOp: 3, Every: 5, Count: 4, Failures: 2, Backoff: 0.002,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("faults %s io: %w", eng, err)
+		}
+		rows = append(rows, FaultRow{
+			Engine:    eng + "+io",
+			Procs:     procs,
+			FaultFree: free.Wall,
+			Faulted:   ioFaulted.Wall,
+			Overhead:  ioFaulted.Wall - free.Wall,
+			Identical: bytes.Equal(ioOut, oracle),
+			Result:    ioFaulted,
 		})
 	}
 	return rows, nil
 }
 
-// PrintFaultRows renders the failure-recovery comparison.
+// PrintFaultRows renders the fault-tolerance comparison: worker crashes
+// and transient-I/O schedules, with the vfs retry/backoff stats surfaced.
 func PrintFaultRows(w io.Writer, rows []FaultRow) {
-	fmt.Fprintf(w, "\n== Failure recovery: single-worker crash at mid-search ==\n")
-	fmt.Fprintf(w, "%-8s %5s %10s %10s %10s %10s %10s\n",
-		"engine", "procs", "crashAt", "faultfree", "crashed", "overhead", "identical")
+	fmt.Fprintf(w, "\n== Fault tolerance: worker crash at mid-search + transient I/O errors ==\n")
+	fmt.Fprintf(w, "%-8s %5s %10s %10s %10s %10s %10s %9s %9s %9s\n",
+		"engine", "procs", "crashAt", "faultfree", "faulted", "overhead", "identical",
+		"ioFaults", "ioRetries", "backoff")
+	byEngine := make(map[string]FaultRow, len(rows))
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %5d %10.3f %10.3f %10.3f %10.3f %10v\n",
-			r.Engine, r.Procs, r.CrashAt, r.FaultFree, r.Crashed, r.Overhead, r.Identical)
+		byEngine[r.Engine] = r
+		fmt.Fprintf(w, "%-8s %5d %10.3f %10.3f %10.3f %10.3f %10v %9d %9d %9.4f\n",
+			r.Engine, r.Procs, r.CrashAt, r.FaultFree, r.Faulted, r.Overhead, r.Identical,
+			r.Result.IOFaultedOps, r.Result.IORetries, r.Result.IOBackoff)
 	}
-	if len(rows) == 2 {
+	mpiRow, mpiOK := byEngine["mpi"]
+	pioRow, pioOK := byEngine["pio"]
+	if mpiOK && pioOK {
 		fmt.Fprintf(w, "recovery-cost gap: mpi re-copies the physical fragment (%.3fs overhead), pio re-issues offsets (%.3fs)\n",
-			rows[0].Overhead, rows[1].Overhead)
+			mpiRow.Overhead, pioRow.Overhead)
 	}
 }
 
@@ -675,27 +724,38 @@ func PrintRows(w io.Writer, title string, rows []Row) {
 	}
 }
 
+// Spec names one row-shaped experiment. The catalogue lives in Specs so
+// every consumer (All, cmd/benchsuite, suite artifacts) iterates the same
+// list in the same presentation order.
+type Spec struct {
+	Name  string
+	Title string
+	Run   func(*Lab) ([]Row, error)
+}
+
+// Specs returns the row-shaped experiment catalogue in presentation order.
+func Specs() []Spec {
+	return []Spec{
+		{"fig1a", "Figure 1(a): mpiBLAST time distribution", Fig1a},
+		{"fig1b", "Figure 1(b): fragment-count sensitivity (32 procs)", Fig1b},
+		{"table1", "Table 1: phase breakdown at 32 processes", Table1},
+		{"table2", "Table 2: query size vs output size", Table2},
+		{"fig3a", "Figure 3(a): node scalability (Altix/XFS)", Fig3a},
+		{"fig3b", "Figure 3(b): output scalability at 62 processes", Fig3b},
+		{"fig4", "Figure 4: node scalability (blade/NFS)", Fig4},
+		{"ablations", "Ablations: output mode, pruning, batching, granularity", Ablations},
+		{"hetero", "Heterogeneous cluster: static vs dynamic partitioning", Hetero},
+	}
+}
+
 // All runs every experiment and prints them — the benchsuite entry point.
 func All(w io.Writer, lab *Lab) error {
-	for _, exp := range []struct {
-		name string
-		run  func(*Lab) ([]Row, error)
-	}{
-		{"Figure 1(a): mpiBLAST time distribution", Fig1a},
-		{"Figure 1(b): fragment-count sensitivity (32 procs)", Fig1b},
-		{"Table 1: phase breakdown at 32 processes", Table1},
-		{"Table 2: query size vs output size", Table2},
-		{"Figure 3(a): node scalability (Altix/XFS)", Fig3a},
-		{"Figure 3(b): output scalability at 62 processes", Fig3b},
-		{"Figure 4: node scalability (blade/NFS)", Fig4},
-		{"Ablations: output mode, pruning, batching, granularity", Ablations},
-		{"Heterogeneous cluster: static vs dynamic partitioning", Hetero},
-	} {
-		rows, err := exp.run(lab)
+	for _, exp := range Specs() {
+		rows, err := exp.Run(lab)
 		if err != nil {
-			return fmt.Errorf("%s: %w", exp.name, err)
+			return fmt.Errorf("%s: %w", exp.Title, err)
 		}
-		PrintRows(w, exp.name, rows)
+		PrintRows(w, exp.Title, rows)
 	}
 	prep, err := PrepCost(lab)
 	if err != nil {

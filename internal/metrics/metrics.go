@@ -1,0 +1,365 @@
+// Package metrics is the unified telemetry registry for the cluster
+// simulation: concurrency-safe counters, gauges, and fixed-bucket
+// histograms, labelled by rank, with a deterministic Snapshot that
+// serializes to a stable JSON form.
+//
+// Design constraints, in order:
+//
+//  1. Zero virtual-time cost. Metrics never touch a simtime.Clock, so
+//     instrumenting a phase cannot change its reported virtual duration —
+//     the measurement must not perturb the measured system.
+//  2. Determinism. The simulation is a deterministic discrete-event world;
+//     its telemetry must be too. Snapshot orders every series by
+//     (name, rank), so two runs of the same seed/config produce
+//     byte-identical snapshots.
+//  3. Nil-safety. A nil *Registry hands out nil instrument handles whose
+//     methods are no-ops, so instrumented code paths never branch on
+//     "is telemetry enabled" (the same convention mpi.CommStats uses).
+//
+// Instrument names are dotted paths whose first component is the layer
+// that owns them ("mpi.", "vfs.", "mpiio.", "blast.", "engine."); the
+// report package groups on that prefix.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// RankGlobal labels a series that is not attributable to a single rank
+// (e.g. shared-file-system totals).
+const RankGlobal = -1
+
+// Counter is a monotone int64 instrument. Methods on a nil Counter are
+// no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 instrument that can move both ways (accumulated
+// seconds, current queue depth). Methods on a nil Gauge are no-ops.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add accumulates d into the gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// Value returns the current value (0 on a nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper bounds in ascending order; one implicit overflow bucket catches
+// everything above the last bound. Methods on a nil Histogram are no-ops.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	sum    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// SizeBuckets is the default byte-size bucketing shared by the message-
+// and I/O-volume histograms: 256 B to 4 MiB in 16× steps.
+func SizeBuckets() []float64 {
+	return []float64{256, 4096, 65536, 1 << 20, 4 << 20}
+}
+
+type key struct {
+	name string
+	rank int
+}
+
+// Registry owns every instrument of one run. The zero value is not usable;
+// call NewRegistry. All methods are safe for concurrent use, and safe on a
+// nil receiver (returning nil no-op instruments).
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[key]*Counter
+	gauges     map[key]*Gauge
+	histograms map[key]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[key]*Counter),
+		gauges:     make(map[key]*Gauge),
+		histograms: make(map[key]*Histogram),
+	}
+}
+
+// Counter returns the counter for (name, rank), creating it on first use.
+func (r *Registry) Counter(name string, rank int) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := key{name, rank}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for (name, rank), creating it on first use.
+func (r *Registry) Gauge(name string, rank int) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := key{name, rank}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram for (name, rank), creating it with the
+// given bounds on first use (later calls reuse the original bounds).
+func (r *Registry) Histogram(name string, rank int, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := key{name, rank}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[k]
+	if !ok {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		r.histograms[k] = h
+	}
+	return h
+}
+
+// CounterPoint is one counter series in a snapshot.
+type CounterPoint struct {
+	Name  string `json:"name"`
+	Rank  int    `json:"rank"`
+	Value int64  `json:"value"`
+}
+
+// GaugePoint is one gauge series in a snapshot.
+type GaugePoint struct {
+	Name  string  `json:"name"`
+	Rank  int     `json:"rank"`
+	Value float64 `json:"value"`
+}
+
+// HistogramPoint is one histogram series in a snapshot. Counts has one
+// entry per bound plus the trailing overflow bucket.
+type HistogramPoint struct {
+	Name   string    `json:"name"`
+	Rank   int       `json:"rank"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Total  int64     `json:"total"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, ordered by
+// (name, rank) within each kind — deterministic for a deterministic run,
+// and stable under JSON marshalling.
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters"`
+	Gauges     []GaugePoint     `json:"gauges"`
+	Histograms []HistogramPoint `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state. Safe to call mid-run from
+// any goroutine; an empty (or nil) registry yields empty, non-nil slices.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   []CounterPoint{},
+		Gauges:     []GaugePoint{},
+		Histograms: []HistogramPoint{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[key]*Counter, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c
+	}
+	gauges := make(map[key]*Gauge, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g
+	}
+	histograms := make(map[key]*Histogram, len(r.histograms))
+	for k, h := range r.histograms {
+		histograms[k] = h
+	}
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		s.Counters = append(s.Counters, CounterPoint{Name: k.name, Rank: k.rank, Value: c.Value()})
+	}
+	for k, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugePoint{Name: k.name, Rank: k.rank, Value: g.Value()})
+	}
+	for k, h := range histograms {
+		h.mu.Lock()
+		p := HistogramPoint{
+			Name:   k.name,
+			Rank:   k.rank,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]int64(nil), h.counts...),
+			Sum:    h.sum,
+		}
+		h.mu.Unlock()
+		for _, c := range p.Counts {
+			p.Total += c
+		}
+		s.Histograms = append(s.Histograms, p)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool {
+		return lessPoint(s.Counters[i].Name, s.Counters[i].Rank, s.Counters[j].Name, s.Counters[j].Rank)
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		return lessPoint(s.Gauges[i].Name, s.Gauges[i].Rank, s.Gauges[j].Name, s.Gauges[j].Rank)
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		return lessPoint(s.Histograms[i].Name, s.Histograms[i].Rank, s.Histograms[j].Name, s.Histograms[j].Rank)
+	})
+	return s
+}
+
+func lessPoint(an string, ar int, bn string, br int) bool {
+	if an != bn {
+		return an < bn
+	}
+	return ar < br
+}
+
+// CounterTotal sums one counter series across ranks.
+func (s Snapshot) CounterTotal(name string) int64 {
+	var total int64
+	for _, c := range s.Counters {
+		if c.Name == name {
+			total += c.Value
+		}
+	}
+	return total
+}
+
+// GaugeTotal sums one gauge series across ranks.
+func (s Snapshot) GaugeTotal(name string) float64 {
+	var total float64
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			total += g.Value
+		}
+	}
+	return total
+}
+
+// HasPrefix reports whether any series name starts with the prefix — how
+// the report smoke tests assert that every instrumented layer showed up.
+func (s Snapshot) HasPrefix(prefix string) bool {
+	match := func(name string) bool {
+		return len(name) >= len(prefix) && name[:len(prefix)] == prefix
+	}
+	for _, c := range s.Counters {
+		if match(c.Name) {
+			return true
+		}
+	}
+	for _, g := range s.Gauges {
+		if match(g.Name) {
+			return true
+		}
+	}
+	for _, h := range s.Histograms {
+		if match(h.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1)
+// of a histogram point: the smallest bucket bound with cumulative count
+// >= q*total, or +Inf when the overflow bucket holds the quantile.
+func (p HistogramPoint) Quantile(q float64) float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	need := int64(math.Ceil(q * float64(p.Total)))
+	var cum int64
+	for i, c := range p.Counts {
+		cum += c
+		if cum >= need {
+			if i < len(p.Bounds) {
+				return p.Bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}

@@ -39,6 +39,7 @@ import (
 	"strings"
 	"sync"
 
+	"parblast/internal/metrics"
 	"parblast/internal/simtime"
 	"parblast/internal/vfs"
 )
@@ -205,6 +206,12 @@ type Config struct {
 	// victim's goroutine, outside the world lock) — the hook the trace
 	// layer uses to put fault marks on the Gantt timeline.
 	OnFault func(rank int, kind FaultKind, at float64)
+	// Metrics, when non-nil, receives the run's unified telemetry: per-tag
+	// message counts and bytes, collective-operation counts, and
+	// receive-timeout waits, all labelled by sending/acting rank. Metrics
+	// never advance virtual clocks, so enabling them cannot change any
+	// reported phase time.
+	Metrics *metrics.Registry
 }
 
 // ShuffleTagBase splits the tag space: tags at or above it belong to the
@@ -713,6 +720,34 @@ func (r *Rank) CrashTime(rank int) float64 {
 // ID returns the rank number (0-based).
 func (r *Rank) ID() int { return r.id }
 
+// Metrics exposes the world's telemetry registry (nil when the run is not
+// instrumented; the registry's instruments are nil-safe, so callers chain
+// r.Metrics().Counter(...).Inc() unconditionally).
+func (r *Rank) Metrics() *metrics.Registry { return r.world.config.Metrics }
+
+// tagSeries maps a message tag to its metric series stem. Protocol tags
+// are small engine constants and keep their number; the collective-I/O
+// shuffle space collapses into one series (internal/mpiio does its own
+// finer accounting).
+func tagSeries(tag int) string {
+	if tag >= ShuffleTagBase {
+		return "mpi.send.shuffle"
+	}
+	return fmt.Sprintf("mpi.send.tag%02d", tag)
+}
+
+// recordSend books one outgoing message in the telemetry registry.
+func (r *Rank) recordSend(tag int, size int64) {
+	reg := r.world.config.Metrics
+	if reg == nil {
+		return
+	}
+	series := tagSeries(tag)
+	reg.Counter(series+".msgs", r.id).Inc()
+	reg.Counter(series+".bytes", r.id).Add(size)
+	reg.Histogram("mpi.msg_bytes", r.id, metrics.SizeBuckets()).Observe(float64(size))
+}
+
 // Size returns the world size.
 func (r *Rank) Size() int { return r.world.n }
 
@@ -800,6 +835,7 @@ func (r *Rank) Send(dst, tag int, data []byte) {
 	}
 	r.maybeCrash()
 	w.config.Comm.add(r.id, tag, int64(len(data)))
+	r.recordSend(tag, int64(len(data)))
 	r.clock.Advance(float64(len(data)) / w.cost.NetBandwidth)
 	w.mu.Lock()
 	if w.crashed[dst] {
@@ -861,7 +897,8 @@ func (r *Rank) RecvTimeout(src, tag int, timeout float64) (data []byte, from, go
 	if timeout < 0 || math.IsNaN(timeout) {
 		timeout = 0
 	}
-	deadline := r.clock.Now() + timeout
+	entered := r.clock.Now()
+	deadline := entered + timeout
 	w.mu.Lock()
 	w.recvSrc[r.id], w.recvTag[r.id] = src, tag
 	w.recvDeadline[r.id] = deadline
@@ -880,6 +917,7 @@ func (r *Rank) RecvTimeout(src, tag int, timeout float64) (data []byte, from, go
 			w.recvDeadline[r.id] = math.Inf(1)
 			w.mu.Unlock()
 			r.clock.AdvanceTo(at) // no-op when the crash is in our past
+			w.config.Metrics.Counter("mpi.recv_failed_peer", r.id).Inc()
 			return nil, 0, 0, fmt.Errorf("mpi: recv from rank %d: %w (crashed at t=%.6f)", src, ErrRankFailed, at)
 		}
 		// Once the scheduler has woken us without a deliverable match,
@@ -888,6 +926,10 @@ func (r *Rank) RecvTimeout(src, tag int, timeout float64) (data []byte, from, go
 			w.recvDeadline[r.id] = math.Inf(1)
 			w.mu.Unlock()
 			r.clock.AdvanceTo(deadline)
+			if reg := w.config.Metrics; reg != nil {
+				reg.Counter("mpi.recv_timeouts", r.id).Inc()
+				reg.Gauge("mpi.recv_timeout_wait_s", r.id).Add(deadline - entered)
+			}
 			return nil, 0, 0, ErrTimeout
 		}
 		waited = true
@@ -934,6 +976,10 @@ func (r *Rank) runCollective(op string, data []byte, release func(datas [][]byte
 	r.maybeCrash()
 	w := r.world
 	w.config.Comm.addCollective(r.id, int64(len(data)))
+	if reg := w.config.Metrics; reg != nil {
+		reg.Counter("mpi.collective."+op, r.id).Inc()
+		reg.Counter("mpi.collective.bytes", r.id).Add(int64(len(data)))
+	}
 	w.mu.Lock()
 	c := w.coll
 	if c == nil {

@@ -235,6 +235,7 @@ func runConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 	}
 	res := engine.Summarize(clocks, outBytes)
 	res.CommBytes, res.ShuffleBytes, res.CollectiveBytes, res.CommMessages = cfg.Comm.Totals()
+	res.AddIOFaults(nodes)
 	return res, nil
 }
 
@@ -319,6 +320,7 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, opts 
 				}
 				fragQueue = append(fragQueue, f)
 			}
+			r.Metrics().Counter("engine.frags_requeued", r.ID()).Add(int64(len(lost)))
 			doneBy[w] = nil
 			current[w] = -1
 			delete(releasedSet, w)
@@ -459,6 +461,7 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, opts 
 			metas = append(metas, engine.MetaFromResult(mh.worker, mh.res, 0))
 		}
 		merged := engine.MergeHits(metas, maxTargets)
+		engine.RecordMerge(r.Metrics(), r.ID(), len(metas), len(merged))
 
 		outFormat := job.Options.OutFormat
 		var text bytes.Buffer
@@ -585,6 +588,7 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 				return err
 			}
 			r.Compute(res.Work.Units())
+			engine.RecordWork(r.Metrics(), r.ID(), res.Work)
 			msg := resultsMsg{Query: qi, Fragment: fragID, Worker: r.ID(), Work: res.Work}
 			for _, hit := range res.Hits {
 				msg.Hits = append(msg.Hits, engine.PackHit(hit, nil))
@@ -611,8 +615,10 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 		}
 		residues, ok := hits[key]
 		if !ok {
+			r.Metrics().Counter("engine.cache_misses", r.ID()).Inc()
 			return fmt.Errorf("mpiblast: worker %d asked for unknown hit %+v", r.ID(), key)
 		}
+		r.Metrics().Counter("engine.cache_hits", r.ID()).Inc()
 		r.Send(0, tagHitData, residues)
 	}
 	r.SetPhase(simtime.PhaseOther)

@@ -97,6 +97,10 @@ func (f *File) SetView(v View) error {
 		return err
 	}
 	f.view = v
+	if reg := f.rank.Metrics(); reg != nil {
+		reg.Counter("mpiio.view_sets", f.rank.ID()).Inc()
+		reg.Counter("mpiio.view_segments", f.rank.ID()).Add(int64(len(v.Segments)))
+	}
 	return nil
 }
 
@@ -110,6 +114,10 @@ func (f *File) ReadAt(off, n int64) []byte {
 	buf := make([]byte, n)
 	got := f.f.ReadAt(buf, off)
 	f.rank.IO(f.fs, int64(got))
+	if reg := f.rank.Metrics(); reg != nil {
+		reg.Counter("mpiio.reads", f.rank.ID()).Inc()
+		reg.Counter("mpiio.read_bytes", f.rank.ID()).Add(int64(got))
+	}
 	return buf[:got]
 }
 
@@ -117,6 +125,10 @@ func (f *File) ReadAt(off, n int64) []byte {
 func (f *File) WriteAt(data []byte, off int64) {
 	f.f.WriteAt(data, off)
 	f.rank.IO(f.fs, int64(len(data)))
+	if reg := f.rank.Metrics(); reg != nil {
+		reg.Counter("mpiio.independent_writes", f.rank.ID()).Inc()
+		reg.Counter("mpiio.write_bytes", f.rank.ID()).Add(int64(len(data)))
+	}
 }
 
 // WriteIndependent writes data through the rank's view using one
@@ -156,6 +168,8 @@ func (f *File) WriteCollective(data []byte) error {
 		return fmt.Errorf("mpiio: data length %d != view length %d", len(data), f.view.TotalLength())
 	}
 	r := f.rank
+	reg := r.Metrics()
+	reg.Counter("mpiio.collective_writes", r.ID()).Inc()
 
 	// Phase 0: agree on the aggregate extent. Crashed ranks contribute nil
 	// to the AllGather; everyone skips them identically, so the surviving
@@ -276,6 +290,7 @@ func (f *File) WriteCollective(data []byte) error {
 		if !overlaps(lo, hi, a) {
 			continue // none of my data can land in this domain
 		}
+		reg.Counter("mpiio.shuffle_bytes", r.ID()).Add(int64(len(myPieces[a])))
 		r.Send(dst, tagBase+1, myPieces[a])
 	}
 
@@ -315,6 +330,8 @@ func (f *File) WriteCollective(data []byte) error {
 			}
 			f.f.WriteAt(runData, runStart)
 			r.IO(f.fs, int64(len(runData)))
+			reg.Counter("mpiio.agg_writes", r.ID()).Inc()
+			reg.Counter("mpiio.agg_write_bytes", r.ID()).Add(int64(len(runData)))
 		}
 	}
 

@@ -1,0 +1,266 @@
+// Package report serializes one simulated run (or a suite of runs) into a
+// single versioned, machine-readable JSON artifact: the run configuration,
+// the virtual-time result, a per-rank phase breakdown with critical-path
+// and straggler attribution, and the full unified-telemetry snapshot.
+//
+// The artifact is the tool-facing counterpart of the CLI's human-readable
+// phase table: every experiment emits a comparable document, so regression
+// tooling can diff runs across commits without scraping stdout. Artifacts
+// are deterministic — the same seed/config yields byte-identical files —
+// because every slice is explicitly ordered and Go's encoding/json
+// marshals maps with sorted keys.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"parblast/internal/engine"
+	"parblast/internal/metrics"
+	"parblast/internal/simtime"
+)
+
+// Version is the artifact schema version. Bump on any field removal or
+// meaning change; additions are backward-compatible and don't bump.
+const Version = 1
+
+// Kind discriminators let a reader reject the wrong artifact flavour.
+const (
+	KindRun   = "parblast-run"
+	KindSuite = "parblast-suite"
+)
+
+// RunInfo describes what was run (the inputs, not the outcome).
+type RunInfo struct {
+	Engine     string            `json:"engine"`
+	Platform   string            `json:"platform"`
+	Procs      int               `json:"procs"`
+	Queries    int               `json:"queries,omitempty"`
+	DBSeqs     int               `json:"db_seqs,omitempty"`
+	DBResidues int64             `json:"db_residues,omitempty"`
+	Extra      map[string]string `json:"extra,omitempty"`
+}
+
+// PhaseBreakdown mirrors simtime.Breakdown with JSON tags.
+type PhaseBreakdown struct {
+	Copy   float64 `json:"copy_s"`
+	Input  float64 `json:"input_s"`
+	Search float64 `json:"search_s"`
+	Output float64 `json:"output_s"`
+	Other  float64 `json:"other_s"`
+	Total  float64 `json:"total_s"`
+}
+
+func phasesOf(b simtime.Breakdown) PhaseBreakdown {
+	return PhaseBreakdown{
+		Copy: b.Copy, Input: b.Input, Search: b.Search,
+		Output: b.Output, Other: b.Other, Total: b.Total,
+	}
+}
+
+// RunSummary is the outcome of one run in comparable scalar form.
+type RunSummary struct {
+	Wall            float64        `json:"wall_s"`
+	SearchFraction  float64        `json:"search_fraction"`
+	Phase           PhaseBreakdown `json:"phase"`
+	OutputBytes     int64          `json:"output_bytes"`
+	CommBytes       int64          `json:"comm_bytes"`
+	ShuffleBytes    int64          `json:"shuffle_bytes"`
+	CollectiveBytes int64          `json:"collective_bytes"`
+	CommMessages    int64          `json:"comm_messages"`
+	IOFaultedOps    int64          `json:"io_faulted_ops"`
+	IORetries       int64          `json:"io_retries"`
+	IOBackoff       float64        `json:"io_backoff_s"`
+}
+
+// SummaryOf flattens an engine result into the artifact's summary form.
+func SummaryOf(res engine.RunResult) RunSummary {
+	return RunSummary{
+		Wall:            res.Wall,
+		SearchFraction:  res.SearchFraction(),
+		Phase:           phasesOf(res.Phase),
+		OutputBytes:     res.OutputBytes,
+		CommBytes:       res.CommBytes,
+		ShuffleBytes:    res.ShuffleBytes,
+		CollectiveBytes: res.CollectiveBytes,
+		CommMessages:    res.CommMessages,
+		IOFaultedOps:    res.IOFaultedOps,
+		IORetries:       res.IORetries,
+		IOBackoff:       res.IOBackoff,
+	}
+}
+
+// RankBreakdown is one rank's virtual-time account. Phases includes every
+// bucket the rank charged (idle too, unlike the run-level maxima).
+type RankBreakdown struct {
+	Rank         int                `json:"rank"`
+	Finish       float64            `json:"finish_s"`
+	Phases       map[string]float64 `json:"phases"`
+	IdleFraction float64            `json:"idle_fraction"`
+}
+
+// CriticalPath attributes the run's wall time: which rank finished last
+// (and therefore bounds the wall), which phase dominates that rank's time,
+// how far ahead of the second-slowest it finished (the straggler's lead),
+// and where the worst idling happened.
+type CriticalPath struct {
+	Rank            int     `json:"rank"`
+	Finish          float64 `json:"finish_s"`
+	DominantPhase   string  `json:"dominant_phase"`
+	DominantShare   float64 `json:"dominant_share"`
+	StragglerLead   float64 `json:"straggler_lead_s"`
+	MaxIdleRank     int     `json:"max_idle_rank"`
+	MaxIdleFraction float64 `json:"max_idle_fraction"`
+}
+
+// Run is the single-run artifact.
+type Run struct {
+	Version      int              `json:"version"`
+	Kind         string           `json:"kind"`
+	Info         RunInfo          `json:"info"`
+	Summary      RunSummary       `json:"summary"`
+	Ranks        []RankBreakdown  `json:"ranks"`
+	CriticalPath *CriticalPath    `json:"critical_path,omitempty"`
+	Metrics      metrics.Snapshot `json:"metrics"`
+}
+
+// Build assembles the artifact for one finished run. reg may be nil (the
+// metrics block is then empty); res.Clocks may be empty (sequential engine),
+// in which case the per-rank and critical-path blocks are omitted.
+func Build(info RunInfo, res engine.RunResult, reg *metrics.Registry) Run {
+	r := Run{
+		Version: Version,
+		Kind:    KindRun,
+		Info:    info,
+		Summary: SummaryOf(res),
+		Ranks:   []RankBreakdown{},
+		Metrics: reg.Snapshot(),
+	}
+	for rank, clock := range res.Clocks {
+		rb := RankBreakdown{
+			Rank:   rank,
+			Finish: clock.Now(),
+			Phases: clock.Buckets(),
+		}
+		if rb.Finish > 0 {
+			rb.IdleFraction = clock.Bucket(simtime.PhaseIdle) / rb.Finish
+		}
+		r.Ranks = append(r.Ranks, rb)
+	}
+	if cp := criticalPath(r.Ranks); cp != nil {
+		r.CriticalPath = cp
+	}
+	return r
+}
+
+// criticalPath derives the wall-time attribution from per-rank breakdowns.
+func criticalPath(ranks []RankBreakdown) *CriticalPath {
+	if len(ranks) == 0 {
+		return nil
+	}
+	cp := &CriticalPath{Rank: -1, MaxIdleRank: -1}
+	var secondFinish float64
+	for _, rb := range ranks {
+		if cp.Rank < 0 || rb.Finish > cp.Finish {
+			if cp.Rank >= 0 {
+				secondFinish = cp.Finish
+			}
+			cp.Rank, cp.Finish = rb.Rank, rb.Finish
+		} else if rb.Finish > secondFinish {
+			secondFinish = rb.Finish
+		}
+		if cp.MaxIdleRank < 0 || rb.IdleFraction > cp.MaxIdleFraction {
+			cp.MaxIdleRank, cp.MaxIdleFraction = rb.Rank, rb.IdleFraction
+		}
+	}
+	if len(ranks) > 1 {
+		cp.StragglerLead = cp.Finish - secondFinish
+	}
+	// Dominant phase of the critical rank: largest non-idle bucket,
+	// name-ordered for a deterministic tie-break.
+	for _, rb := range ranks {
+		if rb.Rank != cp.Rank {
+			continue
+		}
+		names := make([]string, 0, len(rb.Phases))
+		for name := range rb.Phases {
+			if name != simtime.PhaseIdle {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		var best float64
+		for _, name := range names {
+			if rb.Phases[name] > best {
+				best = rb.Phases[name]
+				cp.DominantPhase = name
+			}
+		}
+		if cp.Finish > 0 {
+			cp.DominantShare = best / cp.Finish
+		}
+	}
+	return cp
+}
+
+// WriteJSON writes the artifact, indented, with a trailing newline.
+func (r Run) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ParseRun reads an artifact back, rejecting wrong kinds and future
+// versions.
+func ParseRun(data []byte) (Run, error) {
+	var r Run
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Run{}, fmt.Errorf("report: %w", err)
+	}
+	if r.Kind != KindRun {
+		return Run{}, fmt.Errorf("report: artifact kind %q, want %q", r.Kind, KindRun)
+	}
+	if r.Version < 1 || r.Version > Version {
+		return Run{}, fmt.Errorf("report: unsupported artifact version %d (reader supports ≤%d)", r.Version, Version)
+	}
+	return r, nil
+}
+
+// SuiteRow is one experiment row in a suite artifact.
+type SuiteRow struct {
+	Label      string     `json:"label,omitempty"`
+	Engine     string     `json:"engine"`
+	Procs      int        `json:"procs"`
+	Fragments  int        `json:"fragments,omitempty"`
+	QueryBytes int        `json:"query_bytes,omitempty"`
+	Summary    RunSummary `json:"summary"`
+}
+
+// Experiment groups a named experiment's rows.
+type Experiment struct {
+	Name  string     `json:"name"`
+	Title string     `json:"title"`
+	Rows  []SuiteRow `json:"rows"`
+}
+
+// Suite is the multi-run artifact cmd/benchsuite emits.
+type Suite struct {
+	Version     int          `json:"version"`
+	Kind        string       `json:"kind"`
+	Suite       string       `json:"suite"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// NewSuite returns an empty suite artifact with the version stamped.
+func NewSuite(name string) Suite {
+	return Suite{Version: Version, Kind: KindSuite, Suite: name, Experiments: []Experiment{}}
+}
+
+// WriteJSON writes the suite artifact, indented, with a trailing newline.
+func (s Suite) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

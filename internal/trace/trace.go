@@ -12,17 +12,21 @@ import (
 	"sync"
 )
 
-// Span is one contiguous interval a rank spent in one phase.
+// Span is one contiguous interval a rank spent in one phase. Attrs
+// optionally annotates the span (exported to trace viewers as args);
+// spans recorded through the clock observer carry no attributes.
 type Span struct {
 	Phase    string
 	From, To float64
+	Attrs    map[string]string
 }
 
 // Event is an instantaneous occurrence on a rank's timeline (a fault
-// firing, a recovery decision).
+// firing, a recovery decision), optionally annotated with Attrs.
 type Event struct {
-	Name string
-	At   float64
+	Name  string
+	At    float64
+	Attrs map[string]string
 }
 
 // Collector accumulates phase spans from many ranks. It is safe for
@@ -41,9 +45,15 @@ func NewCollector() *Collector {
 // RecordEvent adds a point event to a rank's timeline (rendered as an 'X'
 // on the Gantt chart). The mpi layer's OnFault hook feeds this.
 func (c *Collector) RecordEvent(rank int, name string, at float64) {
+	c.RecordEventAttrs(rank, name, at, nil)
+}
+
+// RecordEventAttrs is RecordEvent with key/value annotations that trace
+// exporters surface (Chrome trace args, Perfetto's argument panel).
+func (c *Collector) RecordEventAttrs(rank int, name string, at float64, attrs map[string]string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.events[rank] = append(c.events[rank], Event{Name: name, At: at})
+	c.events[rank] = append(c.events[rank], Event{Name: name, At: at, Attrs: attrs})
 }
 
 // Events returns a copy of one rank's point events.
@@ -56,20 +66,26 @@ func (c *Collector) Events(rank int) []Event {
 // Record adds one interval to a rank's timeline, coalescing it with the
 // previous span when the phase continues.
 func (c *Collector) Record(rank int, phase string, from, to float64) {
+	c.RecordAttrs(rank, phase, from, to, nil)
+}
+
+// RecordAttrs is Record with key/value annotations. An annotated span is
+// never coalesced into its predecessor (the annotation marks it distinct).
+func (c *Collector) RecordAttrs(rank int, phase string, from, to float64, attrs map[string]string) {
 	if to <= from {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	spans := c.ranks[rank]
-	if n := len(spans); n > 0 && spans[n-1].Phase == phase && spans[n-1].To >= from {
+	if n := len(spans); attrs == nil && n > 0 && spans[n-1].Phase == phase && spans[n-1].Attrs == nil && spans[n-1].To >= from {
 		if to > spans[n-1].To {
 			spans[n-1].To = to
 		}
 		c.ranks[rank] = spans
 		return
 	}
-	c.ranks[rank] = append(spans, Span{Phase: phase, From: from, To: to})
+	c.ranks[rank] = append(spans, Span{Phase: phase, From: from, To: to, Attrs: attrs})
 }
 
 // Observer returns a recording function bound to one rank, in the shape
@@ -112,9 +128,13 @@ func (c *Collector) End() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	end := 0.0
+	// Scan every span, not just each rank's last: spans may be recorded out
+	// of time order (e.g. replayed from a merged log).
 	for _, spans := range c.ranks {
-		if n := len(spans); n > 0 && spans[n-1].To > end {
-			end = spans[n-1].To
+		for _, s := range spans {
+			if s.To > end {
+				end = s.To
+			}
 		}
 	}
 	for _, evs := range c.events {
@@ -166,13 +186,22 @@ func (c *Collector) Render(w io.Writer, width int) {
 			row[i] = ' '
 		}
 		for _, s := range c.Spans(rank) {
+			// Half-open column interval [from, to): abutting spans share a
+			// boundary time but never a column, so neither overwrites the
+			// other's edge glyph.
 			from := int(s.From / end * float64(width))
 			to := int(s.To / end * float64(width))
-			if to >= width {
-				to = width - 1
+			if to <= from {
+				to = from + 1 // a tiny span still paints one column
+			}
+			if to > width {
+				to = width
+			}
+			if from >= width {
+				from = width - 1
 			}
 			g := Glyph(s.Phase)
-			for i := from; i <= to && i < width; i++ {
+			for i := from; i < to; i++ {
 				row[i] = g
 			}
 		}

@@ -107,6 +107,37 @@ func TestTraceThroughMPIRun(t *testing.T) {
 	}
 }
 
+// TestRenderAbuttingSpans: two spans sharing a boundary time must not share
+// a column. The old inclusive fill (i <= to) painted one extra column per
+// span, so whichever span was recorded later overwrote its neighbour's edge
+// glyph — visible here because the later-in-time span is recorded FIRST.
+func TestRenderAbuttingSpans(t *testing.T) {
+	c := NewCollector()
+	c.Record(7, "output", 5, 10)
+	c.Record(7, "search", 0, 5)
+	var buf bytes.Buffer
+	c.Render(&buf, 10)
+	out := buf.String()
+	if !strings.Contains(out, "|SSSSSOOOOO|") {
+		t.Fatalf("abutting spans mis-painted (want |SSSSSOOOOO|):\n%s", out)
+	}
+}
+
+// TestRenderTinySpan: a span far narrower than one column still paints one
+// column instead of disappearing — the half-open rewrite must keep the old
+// fill's only virtue.
+func TestRenderTinySpan(t *testing.T) {
+	c := NewCollector()
+	c.Record(0, "search", 0, 10) // sets the scale
+	c.Record(1, "output", 4.2, 4.4)
+	var buf bytes.Buffer
+	c.Render(&buf, 10)
+	out := buf.String()
+	if !strings.Contains(out, "|    O     |") {
+		t.Fatalf("tiny span lost (want one O column on rank 1):\n%s", out)
+	}
+}
+
 func TestGlyphs(t *testing.T) {
 	if Glyph("search") != 'S' || Glyph("idle") != ' ' || Glyph("weird") != 'w' || Glyph("") != '?' {
 		t.Fatal("glyph mapping wrong")

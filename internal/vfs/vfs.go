@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"parblast/internal/metrics"
 )
 
 // Profile holds the performance characteristics of one storage system.
@@ -105,6 +107,44 @@ type FS struct {
 	faultedOps  int64
 	retries     int64
 	backoffTime float64
+	// telemetry handles (nil-safe no-ops until SetMetrics)
+	inst fsInstruments
+}
+
+// fsInstruments caches the file system's telemetry handles so hot paths
+// never hit the registry's lookup map. All fields are nil-safe: an FS
+// without SetMetrics records nothing.
+type fsInstruments struct {
+	ops         *metrics.Counter
+	readBytes   *metrics.Counter
+	writeBytes  *metrics.Counter
+	faultedOps  *metrics.Counter
+	retries     *metrics.Counter
+	backoff     *metrics.Gauge
+	accessBytes *metrics.Histogram
+}
+
+// SetMetrics attaches the file system to a telemetry registry. Series are
+// named vfs.<profile>.* and labelled RankGlobal, since a file system is a
+// shared resource not owned by any one rank. Metrics never advance virtual
+// clocks, so attaching them cannot change any access's completion time.
+func (fs *FS) SetMetrics(reg *metrics.Registry) {
+	prefix := "vfs." + fs.profile.Name + "."
+	inst := fsInstruments{}
+	if reg != nil {
+		inst = fsInstruments{
+			ops:         reg.Counter(prefix+"ops", metrics.RankGlobal),
+			readBytes:   reg.Counter(prefix+"read_bytes", metrics.RankGlobal),
+			writeBytes:  reg.Counter(prefix+"write_bytes", metrics.RankGlobal),
+			faultedOps:  reg.Counter(prefix+"faulted_ops", metrics.RankGlobal),
+			retries:     reg.Counter(prefix+"fault_retries", metrics.RankGlobal),
+			backoff:     reg.Gauge(prefix+"backoff_s", metrics.RankGlobal),
+			accessBytes: reg.Histogram(prefix+"access_bytes", metrics.RankGlobal, metrics.SizeBuckets()),
+		}
+	}
+	fs.mu.Lock()
+	fs.inst = inst
+	fs.mu.Unlock()
 }
 
 // New creates an empty file system with the given performance profile.
@@ -142,6 +182,8 @@ func (fs *FS) Access(start float64, size int64) float64 {
 
 func (fs *FS) accessLocked(start float64, size int64) float64 {
 	fs.ops++
+	fs.inst.ops.Inc()
+	fs.inst.accessBytes.Observe(float64(size))
 	// Earliest-free channel.
 	best := 0
 	for i := 1; i < len(fs.channels); i++ {
@@ -157,10 +199,13 @@ func (fs *FS) accessLocked(start float64, size int64) float64 {
 	// exponentially growing backoff wait before the attempt that succeeds.
 	if fs.faultedLocked() {
 		fs.faultedOps++
+		fs.inst.faultedOps.Inc()
 		delay := fs.faults.Backoff
 		for i := 0; i < fs.faults.Failures; i++ {
 			fs.retries++
 			fs.backoffTime += delay
+			fs.inst.retries.Inc()
+			fs.inst.backoff.Add(delay)
 			begin += fs.profile.Latency + delay
 			delay *= 2
 		}
@@ -327,7 +372,9 @@ func (f *File) ReadAt(p []byte, off int64) int {
 	n := copy(p, f.data[off:])
 	f.fs.mu.Lock()
 	f.fs.bytesRead += int64(n)
+	inst := f.fs.inst
 	f.fs.mu.Unlock()
+	inst.readBytes.Add(int64(n))
 	return n
 }
 
@@ -344,7 +391,9 @@ func (f *File) WriteAt(p []byte, off int64) {
 	copy(f.data[off:end], p)
 	f.fs.mu.Lock()
 	f.fs.bytesWritten += int64(len(p))
+	inst := f.fs.inst
 	f.fs.mu.Unlock()
+	inst.writeBytes.Add(int64(len(p)))
 }
 
 // Truncate sets the file length.

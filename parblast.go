@@ -27,6 +27,7 @@ import (
 	"parblast/internal/core"
 	"parblast/internal/engine"
 	"parblast/internal/formatdb"
+	"parblast/internal/metrics"
 	"parblast/internal/mpi"
 	"parblast/internal/mpiblast"
 	"parblast/internal/seq"
@@ -60,6 +61,10 @@ type (
 	DB = formatdb.DB
 	// TraceCollector records per-rank phase timelines (see Cluster.Trace).
 	TraceCollector = trace.Collector
+	// MetricsRegistry is the unified telemetry registry (see Cluster.Metrics).
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a deterministic point-in-time metrics copy.
+	MetricsSnapshot = metrics.Snapshot
 	// Fault schedules one deterministic rank failure (see Search.Faults).
 	Fault = mpi.Fault
 	// FaultKind selects crash vs degrade.
@@ -162,10 +167,11 @@ func (e Engine) String() string {
 
 // Cluster is a simulated parallel machine: ranks, storage, cost model.
 type Cluster struct {
-	procs int
-	nodes []*vfs.Node
-	cost  simtime.CostModel
-	trace *trace.Collector
+	procs   int
+	nodes   []*vfs.Node
+	cost    simtime.CostModel
+	trace   *trace.Collector
+	metrics *metrics.Registry
 }
 
 // NewCluster builds a cluster of procs ranks on the given platform with
@@ -213,6 +219,28 @@ func (c *Cluster) Trace() *TraceCollector {
 		c.trace = trace.NewCollector()
 	}
 	return c.trace
+}
+
+// Metrics enables unified telemetry for subsequent runs and returns the
+// registry (snapshot it after a run). Every file system of the cluster is
+// attached too, so vfs.* series appear alongside mpi/mpiio/blast/engine
+// ones. Metrics never advance virtual clocks: enabling them cannot change
+// any reported time.
+func (c *Cluster) Metrics() *MetricsRegistry {
+	if c.metrics == nil {
+		c.metrics = metrics.NewRegistry()
+		seen := make(map[*vfs.FS]bool)
+		for _, n := range c.nodes {
+			for _, fs := range []*vfs.FS{n.Shared, n.Local} {
+				if fs == nil || seen[fs] {
+					continue
+				}
+				seen[fs] = true
+				fs.SetMetrics(c.metrics)
+			}
+		}
+	}
+	return c.metrics
 }
 
 // SharedFS exposes the shared file system (reading results, staging data).
@@ -290,12 +318,13 @@ func (c *Cluster) Run(eng Engine, s Search) (Result, error) {
 		OutputPath: s.Output,
 		Fragments:  s.Fragments,
 	}
-	cfg := mpi.Config{Cost: c.cost, Speeds: s.Pio.NodeSpeeds, Faults: s.Faults}
+	cfg := mpi.Config{Cost: c.cost, Speeds: s.Pio.NodeSpeeds, Faults: s.Faults, Metrics: c.metrics}
 	if c.trace != nil {
 		cfg.Observer = c.trace.Observer
 		tr := c.trace
 		cfg.OnFault = func(rank int, kind mpi.FaultKind, at float64) {
-			tr.RecordEvent(rank, kind.String(), at)
+			tr.RecordEventAttrs(rank, kind.String(), at,
+				map[string]string{"kind": kind.String(), "rank": fmt.Sprintf("%d", rank)})
 		}
 	}
 	switch eng {

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Full verification gate: formatting, build, vet, race-enabled tests, a
 # smoke run of the kernel benchmarks (one iteration — checks they still
-# execute, not perf), and an examples build + quickstart smoke run.
+# execute, not perf), an examples build + quickstart smoke run, and a
+# telemetry smoke run (parblast -report/-trace-out + artifact validation).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,3 +20,14 @@ go vet ./...
 go test -race ./...
 go test -run=- -bench=SearchFragment -benchtime=1x ./internal/blast
 go run ./examples/quickstart >/dev/null
+
+# Telemetry smoke: a tiny end-to-end run must produce a parseable run
+# report (metrics from all five layers) and a loadable Chrome trace.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/makedb -o "$tmp/db.fasta" -seqs 60 -meanlen 120 -seed 7
+go run ./cmd/makedb -o "$tmp/q.fasta" -seqs 6 -meanlen 80 -seed 3 -prefix qry
+go run ./cmd/parblast -db "$tmp/db.fasta" -query "$tmp/q.fasta" \
+    -engine pio -procs 4 -out "$tmp/results.txt" \
+    -report "$tmp/run.json" -trace-out "$tmp/trace.json" >/dev/null
+go run ./scripts/validatereport -run "$tmp/run.json" -trace "$tmp/trace.json"

@@ -1,0 +1,92 @@
+// Command validatereport is the CI gate for telemetry artifacts: it parses
+// a run report produced by `parblast -report` and (optionally) a Chrome
+// trace produced by `-trace-out`, and fails loudly when either is not the
+// document the tooling expects — wrong kind/version, missing metrics
+// layers, or a trace Perfetto would refuse.
+//
+// Usage:
+//
+//	validatereport -run run.json [-trace trace.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"parblast/internal/report"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "validatereport: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func validateRun(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	r, err := report.ParseRun(data)
+	if err != nil {
+		fail("%s: %v", path, err)
+	}
+	if r.Summary.Wall <= 0 {
+		fail("%s: wall time %g is not positive", path, r.Summary.Wall)
+	}
+	if len(r.Ranks) == 0 || r.CriticalPath == nil {
+		fail("%s: missing per-rank breakdown or critical-path attribution", path)
+	}
+	for _, layer := range []string{"mpi.", "vfs.", "mpiio.", "blast.", "engine."} {
+		if !r.Metrics.HasPrefix(layer) {
+			fail("%s: no metrics from layer %q", path, layer)
+		}
+	}
+	fmt.Printf("%s: ok (%s on %s, %d ranks, %d metric series)\n",
+		path, r.Info.Engine, r.Info.Platform, len(r.Ranks), len(r.Metrics.Counters)+len(r.Metrics.Gauges)+len(r.Metrics.Histograms))
+}
+
+func validateTrace(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fail("%s: %v", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		fail("%s: no trace events", path)
+	}
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		fail("%s: no complete ('X') span events", path)
+	}
+	fmt.Printf("%s: ok (%d events, %d spans)\n", path, len(doc.TraceEvents), spans)
+}
+
+func main() {
+	runPath := flag.String("run", "", "run-report JSON to validate")
+	tracePath := flag.String("trace", "", "Chrome trace JSON to validate")
+	flag.Parse()
+	if *runPath == "" && *tracePath == "" {
+		fail("nothing to validate: pass -run and/or -trace")
+	}
+	if *runPath != "" {
+		validateRun(*runPath)
+	}
+	if *tracePath != "" {
+		validateTrace(*tracePath)
+	}
+}
