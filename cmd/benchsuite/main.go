@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|fig1a|fig1b|table1|table2|fig3a|fig3b|fig4|ablations|hetero|faults]
+//	benchsuite [-exp all|fig1a|fig1b|table1|table2|fig3a|fig3b|fig4|ablations|readpath|hetero|faults]
 //	           [-dbseqs N] [-family N] [-querybytes N] [-report suite.json]
 //	benchsuite -kernelbench [-bench-out BENCH_1.json]
 //
@@ -92,7 +92,7 @@ func faultSuiteRows(rows []experiments.FaultRow) []report.SuiteRow {
 const faultsTitle = "Fault tolerance: worker crash at mid-search + transient I/O errors"
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig1a, fig1b, table1, table2, fig3a, fig3b, fig4, ablations, hetero, faults")
+	exp := flag.String("exp", "all", "experiment to run: all, fig1a, fig1b, table1, table2, fig3a, fig3b, fig4, ablations, readpath, hetero, faults")
 	dbSeqs := flag.Int("dbseqs", 0, "override database sequence count")
 	family := flag.Int("family", 0, "override family size (database redundancy)")
 	queryBytes := flag.Int("querybytes", 0, "override the default ('150 KB'-equivalent) query set volume")

@@ -8,6 +8,7 @@
 //	parblast -db nr.fasta -query queries.fasta -out results.txt \
 //	         [-engine pio|mpi|seq] [-procs 32] [-platform altix|blade|ideal] \
 //	         [-fragments N] [-early-prune] [-independent-output] \
+//	         [-collective-read] [-prefetch N] [-dynamic] \
 //	         [-report run.json] [-trace-out trace.json] [-timeline]
 package main
 
@@ -38,6 +39,8 @@ func main() {
 	outfmt := flag.String("outfmt", "pairwise", "report format: pairwise or tabular")
 	filter := flag.Bool("filter", false, "mask low-complexity query regions for seeding (-F)")
 	dynamic := flag.Bool("dynamic", false, "pioBLAST: greedy run-time fragment assignment (§5)")
+	collectiveRead := flag.Bool("collective-read", false, "pioBLAST: two-phase collective input reads (§3; static assignment only)")
+	prefetch := flag.Int("prefetch", 0, "pioBLAST: partitions to prefetch asynchronously while searching (0 = synchronous reads)")
 	batch := flag.Int("batch", 0, "pioBLAST: queries per collective write (§5 query batching)")
 	memBudget := flag.Int64("membudget", 0, "pioBLAST: adaptive batching memory budget in bytes (§5)")
 	searchThreads := flag.Int("search-threads", 0, "intra-rank search worker goroutines (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
@@ -153,6 +156,8 @@ func main() {
 			EarlyPrune:        *earlyPrune,
 			IndependentOutput: *independent,
 			DynamicAssignment: *dynamic,
+			CollectiveRead:    *collectiveRead,
+			PrefetchDepth:     *prefetch,
 			QueryBatch:        *batch,
 			MemoryBudgetBytes: *memBudget,
 		},

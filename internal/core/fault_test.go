@@ -134,3 +134,62 @@ func TestCrashDuringOutputUnrecoverable(t *testing.T) {
 		t.Errorf("output-phase crash produced %v, want an error naming the output phase", err)
 	}
 }
+
+// TestCrashRecoveryWithReadPathModes: a mid-search worker crash must still
+// yield oracle-identical output when the input stage uses collective reads
+// or the prefetch pipeline (recovery re-reads reclaimed partitions with
+// independent reads, since the crashed peers a collective needs are gone).
+func TestCrashRecoveryWithReadPathModes(t *testing.T) {
+	const nprocs = 4
+	fx := makeFixture(t, 2000)
+
+	seqNodes := fx.newCluster(t, 1, vfs.RAMDisk(), nil, 0)
+	seqJob := *fx.job
+	if err := engine.RunSequential(seqNodes[0].Shared, &seqJob); err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := seqNodes[0].Shared.ReadFile(fx.job.OutputPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runPio := func(opts core.Options, faults []mpi.Fault) (engine.RunResult, []byte) {
+		t.Helper()
+		nodes := fx.newCluster(t, nprocs, vfs.XFSLike(), localDisk(), 0)
+		job := *fx.job
+		job.Fragments = 9
+		cfg := mpi.Config{Cost: testCost(), Faults: faults}
+		res, err := core.RunConfig(nodes, nprocs, cfg, &job, opts)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		out, err := nodes[0].Shared.ReadFile(fx.job.OutputPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, out
+	}
+
+	for _, opts := range []core.Options{
+		{FaultTolerant: true, CollectiveRead: true},
+		{FaultTolerant: true, PrefetchDepth: 2},
+		{FaultTolerant: true, DynamicAssignment: true, PrefetchDepth: 1},
+	} {
+		free, freeOut := runPio(opts, nil)
+		if !bytes.Equal(freeOut, oracle) {
+			t.Fatalf("opts %+v fault-free output differs at byte %d",
+				opts, firstDiff(freeOut, oracle))
+		}
+		at := 0.5 * (free.Wall - free.Phase.Output)
+		faults := []mpi.Fault{{Rank: nprocs - 1, At: at, Kind: mpi.FaultCrash}}
+		_, out1 := runPio(opts, faults)
+		if !bytes.Equal(out1, oracle) {
+			t.Errorf("opts %+v output after crash differs at byte %d",
+				opts, firstDiff(out1, oracle))
+		}
+		_, out2 := runPio(opts, faults)
+		if !bytes.Equal(out1, out2) {
+			t.Errorf("opts %+v recovery nondeterministic", opts)
+		}
+	}
+}

@@ -87,6 +87,21 @@ type Options struct {
 	// QueryBatch groups this many queries into one collective write
 	// (0 or 1 = per-query output, the default). §5's query batching.
 	QueryBatch int
+	// CollectiveRead replaces the workers' independent input reads with
+	// collective two-phase reads: per database volume, all ranks (master
+	// included, with empty views) read the index-array, header, and
+	// sequence ranges as three MPI_File_read_all-style operations, so
+	// aggregators turn the strided per-partition requests into a few
+	// large sieved sequential reads. Static assignment only: with
+	// DynamicAssignment the partition→worker map is not known up front,
+	// so the engine falls back to independent reads.
+	CollectiveRead bool
+	// PrefetchDepth > 0 overlaps input with search: a worker starts the
+	// asynchronous reads of up to this many upcoming partitions before
+	// searching the current one, paying max(io, compute) instead of
+	// their sum. With DynamicAssignment the pipeline is one partition
+	// deep (the greedy protocol assigns one at a time).
+	PrefetchDepth int
 	// MemoryBudgetBytes, when positive, enables ADAPTIVE batching (§5's
 	// "adjust to the amount of available memory"): after the search phase
 	// the ranks exchange per-query cached-output volumes and every rank
@@ -140,8 +155,12 @@ type jobMeta struct {
 	EarlyPrune  bool
 	Independent bool
 	Dynamic     bool
-	QueryBatch  int
-	MemBudget   int64
+	// Collective selects collective two-phase input reads (static
+	// assignment only); Prefetch is the input/search overlap depth.
+	Collective bool
+	Prefetch   int
+	QueryBatch int
+	MemBudget  int64
 	// FT enables the ready/go failure-recovery rendezvous after the search
 	// phase; FTTimeout is the master's detection polling interval.
 	FT        bool
@@ -312,10 +331,15 @@ func RunConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 		EarlyPrune:  opts.EarlyPrune,
 		Independent: opts.IndependentOutput,
 		Dynamic:     opts.DynamicAssignment,
+		Collective:  opts.CollectiveRead,
+		Prefetch:    opts.PrefetchDepth,
 		QueryBatch:  batch,
 		MemBudget:   opts.MemoryBudgetBytes,
 		FT:          ft,
 		FTTimeout:   ftTimeout,
+	}
+	if meta.Prefetch < 0 {
+		meta.Prefetch = 0
 	}
 	// The master reads the (small) index files to compute the partition.
 	var indexBytes int64
@@ -363,6 +387,9 @@ func runBatches(bounds []int, fn func(int, int) error) error {
 // All ranks compute this from identical global volumes, so the boundaries
 // agree everywhere.
 func adaptiveBounds(volumes []int64, budget int64) []int {
+	if len(volumes) == 0 {
+		return []int{0}
+	}
 	bounds := []int{0}
 	var acc int64
 	for q := range volumes {
@@ -468,6 +495,17 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, index
 	} else {
 		for pi := range meta.Parts {
 			partsOf[pi%workers+1] = append(partsOf[pi%workers+1], pi)
+		}
+		if meta.Collective {
+			// Participate (with empty views) in the workers' collective
+			// input reads — three per volume. The master usually serves
+			// an aggregator domain here, turning otherwise idle time into
+			// useful sequential I/O.
+			r.SetPhase(simtime.PhaseInput)
+			if _, err := readPartsCollective(r, newFileCache(r, node.Shared), meta, nil); err != nil {
+				return err
+			}
+			r.SetPhase(simtime.PhaseIdle)
 		}
 	}
 
@@ -704,15 +742,11 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 	}
 
 	// Phase 1: acquire virtual fragments and search every query against
-	// them. Static mode reads a fixed set ("the input stage"); dynamic
-	// mode interleaves greedy assignment, reading, and searching.
-	searchPart := func(part []wireExtent) error {
-		r.Yield() // keep virtual-time order across ranks' storage accesses
-		r.SetPhase(simtime.PhaseInput)
-		frag, err := readPart(r, node, part)
-		if err != nil {
-			return err
-		}
+	// them. Static mode reads a fixed set ("the input stage") — optionally
+	// with collective reads or an async prefetch pipeline; dynamic mode
+	// interleaves greedy assignment, reading, and searching.
+	files := newFileCache(r, node.Shared)
+	searchFrag := func(frag *blast.Fragment) error {
 		base := len(st.frag.Subjects)
 		st.frag.Subjects = append(st.frag.Subjects, frag.Subjects...)
 		for i := base; i < len(st.frag.Subjects); i++ {
@@ -736,11 +770,120 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 		}
 		return nil
 	}
+	searchPart := func(part []wireExtent) error {
+		r.Yield() // keep virtual-time order across ranks' storage accesses
+		r.SetPhase(simtime.PhaseInput)
+		frag, err := readPart(files, part)
+		if err != nil {
+			return err
+		}
+		return searchFrag(frag)
+	}
+	// searchPipelined searches a known list of partitions, keeping the
+	// asynchronous reads of up to meta.Prefetch upcoming partitions in
+	// flight while the current one is searched.
+	searchPipelined := func(parts []int) error {
+		fetches := make([]*partFetch, len(parts))
+		next := 0
+		for cur := range parts {
+			r.Yield()
+			r.SetPhase(simtime.PhaseInput)
+			for next <= cur+meta.Prefetch && next < len(parts) {
+				pf, err := startPartFetch(files, meta.Parts[parts[next]])
+				if err != nil {
+					return err
+				}
+				fetches[next] = pf
+				next++
+			}
+			frag, err := fetches[cur].finish()
+			fetches[cur] = nil
+			if err != nil {
+				return err
+			}
+			if err := searchFrag(frag); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	searchStatic := func(parts []int) error {
+		if meta.Prefetch > 0 {
+			return searchPipelined(parts)
+		}
+		for _, pi := range parts {
+			if err := searchPart(meta.Parts[pi]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 
 	workers := r.Size() - 1
-	if meta.Dynamic {
+	var mine []int
+	for pi := range meta.Parts {
+		if pi%workers == r.ID()-1 {
+			mine = append(mine, pi)
+		}
+	}
+	switch {
+	case meta.Dynamic && meta.Prefetch > 0:
+		// Pipeline the greedy protocol one partition deep: the next
+		// assignment is requested — and its reads started — before the
+		// current partition is searched, so both the master round trip
+		// and the input I/O hide behind the search.
+		reqPart := func() {
+			r.SetPhase(simtime.PhaseIdle)
+			r.Send(0, tagPartReq, nil)
+		}
+		recvAssign := func() (int, error) {
+			r.SetPhase(simtime.PhaseIdle)
+			data, _, _ := r.Recv(0, tagPartAssign)
+			return engine.DecodeInt(data)
+		}
+		startFetch := func(pi int) (*partFetch, error) {
+			reqPart()
+			r.Yield()
+			r.SetPhase(simtime.PhaseInput)
+			return startPartFetch(files, meta.Parts[pi])
+		}
+		reqPart()
+		cur, err := recvAssign()
+		if err != nil {
+			return err
+		}
+		var curFetch *partFetch
+		if cur >= 0 {
+			if curFetch, err = startFetch(cur); err != nil {
+				return err
+			}
+		}
+		for cur >= 0 {
+			nxt, err := recvAssign()
+			if err != nil {
+				return err
+			}
+			var nxtFetch *partFetch
+			if nxt >= 0 {
+				if nxtFetch, err = startFetch(nxt); err != nil {
+					return err
+				}
+			}
+			r.SetPhase(simtime.PhaseInput)
+			frag, err := curFetch.finish()
+			if err != nil {
+				return err
+			}
+			if err := searchFrag(frag); err != nil {
+				return err
+			}
+			cur, curFetch = nxt, nxtFetch
+		}
+	case meta.Dynamic:
 		for {
-			r.SetPhase(simtime.PhaseSearch)
+			// The request/assign rendezvous is queueing, not search: the
+			// master may be busy serving other workers.
+			r.SetPhase(simtime.PhaseIdle)
 			r.Send(0, tagPartReq, nil)
 			data, _, _ := r.Recv(0, tagPartAssign)
 			part, err := engine.DecodeInt(data)
@@ -754,13 +897,21 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 				return err
 			}
 		}
-	} else {
-		for pi := range meta.Parts {
-			if pi%workers == r.ID()-1 {
-				if err := searchPart(meta.Parts[pi]); err != nil {
-					return err
-				}
+	case meta.Collective:
+		r.Yield()
+		r.SetPhase(simtime.PhaseInput)
+		frags, err := readPartsCollective(r, files, meta, mine)
+		if err != nil {
+			return err
+		}
+		for _, pi := range mine {
+			if err := searchFrag(frags[pi]); err != nil {
+				return err
 			}
+		}
+	default:
+		if err := searchStatic(mine); err != nil {
+			return err
 		}
 	}
 
@@ -776,10 +927,11 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 			if err != nil {
 				return err
 			}
-			for _, pi := range extras {
-				if err := searchPart(meta.Parts[pi]); err != nil {
-					return err
-				}
+			// Re-issued partitions are re-read with the static path
+			// (independent reads, prefetched when enabled): the crashed
+			// peers a collective would need are gone.
+			if err := searchStatic(extras); err != nil {
+				return err
 			}
 			if done {
 				break
@@ -902,8 +1054,13 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 	return nil
 }
 
-// fixedBounds builds the boundary list for fixed-size batches.
+// fixedBounds builds the boundary list for fixed-size batches. Zero
+// queries yield the single boundary [0] — no batches — rather than a
+// degenerate empty batch.
 func fixedBounds(n, b int) []int {
+	if n <= 0 {
+		return []int{0}
+	}
 	if b < 1 {
 		b = 1
 	}
@@ -914,24 +1071,50 @@ func fixedBounds(n, b int) []int {
 	return append(bounds, n)
 }
 
+// fileCache deduplicates shared-file opens across a worker's partitions:
+// each of the three per-volume database files is opened once and the
+// handle reused for every extent of every partition, instead of three
+// fresh opens per extent.
+type fileCache struct {
+	r    *mpi.Rank
+	fs   *vfs.FS
+	open map[string]*mpiio.File
+}
+
+func newFileCache(r *mpi.Rank, fs *vfs.FS) *fileCache {
+	return &fileCache{r: r, fs: fs, open: make(map[string]*mpiio.File)}
+}
+
+func (c *fileCache) file(path string) (*mpiio.File, error) {
+	if f, ok := c.open[path]; ok {
+		return f, nil
+	}
+	f, err := mpiio.Open(c.r, c.fs, path)
+	if err != nil {
+		return nil, err
+	}
+	c.open[path] = f
+	return f, nil
+}
+
 // readPart reads one virtual fragment's extents from the global shared
 // files — contiguous independent reads of the index slices, header range,
 // and sequence range; no staging copy.
-func readPart(r *mpi.Rank, node *vfs.Node, part []wireExtent) (*blast.Fragment, error) {
+func readPart(files *fileCache, part []wireExtent) (*blast.Fragment, error) {
 	frag := &blast.Fragment{}
 	for _, e := range part {
-		idx, err := mpiio.Open(r, node.Shared, formatdb.IndexPath(e.VolBase))
+		idx, err := files.file(formatdb.IndexPath(e.VolBase))
 		if err != nil {
 			return nil, err
 		}
 		count := e.To - e.From
 		hdrOffs := formatdb.DecodeOffsets(idx.ReadAt(e.HdrArrayPos, 8*int64(count+1)))
 		seqOffs := formatdb.DecodeOffsets(idx.ReadAt(e.SeqArrayPos, 8*int64(count+1)))
-		hdrFile, err := mpiio.Open(r, node.Shared, formatdb.HeaderPath(e.VolBase))
+		hdrFile, err := files.file(formatdb.HeaderPath(e.VolBase))
 		if err != nil {
 			return nil, err
 		}
-		seqFile, err := mpiio.Open(r, node.Shared, formatdb.SeqPath(e.VolBase))
+		seqFile, err := files.file(formatdb.SeqPath(e.VolBase))
 		if err != nil {
 			return nil, err
 		}
@@ -941,13 +1124,212 @@ func readPart(r *mpi.Rank, node *vfs.Node, part []wireExtent) (*blast.Fragment, 
 		if err != nil {
 			return nil, err
 		}
-		for _, rec := range recs {
-			frag.Subjects = append(frag.Subjects, blast.Subject{
-				OID: rec.OID, ID: rec.ID, Defline: rec.Defline, Residues: rec.Residues,
-			})
-		}
+		appendRecords(frag, recs)
 	}
 	return frag, nil
+}
+
+func appendRecords(frag *blast.Fragment, recs []formatdb.Record) {
+	for _, rec := range recs {
+		frag.Subjects = append(frag.Subjects, blast.Subject{
+			OID: rec.OID, ID: rec.ID, Defline: rec.Defline, Residues: rec.Residues,
+		})
+	}
+}
+
+// partFetch holds one partition's in-flight asynchronous extent reads:
+// four per extent (header-offset array, sequence-offset array, header
+// range, sequence range), issued in readPart's order.
+type partFetch struct {
+	part  []wireExtent
+	reads []*mpiio.AsyncRead
+}
+
+// startPartFetch issues the asynchronous reads for one partition without
+// advancing the worker's clock — the prefetch half of the input/search
+// overlap pipeline.
+func startPartFetch(files *fileCache, part []wireExtent) (*partFetch, error) {
+	pf := &partFetch{part: part}
+	for _, e := range part {
+		idx, err := files.file(formatdb.IndexPath(e.VolBase))
+		if err != nil {
+			return nil, err
+		}
+		hdrFile, err := files.file(formatdb.HeaderPath(e.VolBase))
+		if err != nil {
+			return nil, err
+		}
+		seqFile, err := files.file(formatdb.SeqPath(e.VolBase))
+		if err != nil {
+			return nil, err
+		}
+		count := int64(e.To - e.From)
+		pf.reads = append(pf.reads,
+			idx.StartReadAt(e.HdrArrayPos, 8*(count+1)),
+			idx.StartReadAt(e.SeqArrayPos, 8*(count+1)),
+			hdrFile.StartReadAt(e.HdrOff, e.HdrLen),
+			seqFile.StartReadAt(e.SeqOff, e.SeqLen))
+	}
+	return pf, nil
+}
+
+// finish waits out the partition's reads and decodes the fragment —
+// byte-for-byte the same result as readPart.
+func (pf *partFetch) finish() (*blast.Fragment, error) {
+	frag := &blast.Fragment{}
+	ri := 0
+	next := func() []byte {
+		buf := pf.reads[ri].Wait()
+		ri++
+		return buf
+	}
+	for _, e := range pf.part {
+		hdrOffs := formatdb.DecodeOffsets(next())
+		seqOffs := formatdb.DecodeOffsets(next())
+		hdrBuf := next()
+		seqBuf := next()
+		recs, err := formatdb.DecodeWithOffsets(e.OIDFrom, hdrOffs, seqOffs, hdrBuf, seqBuf)
+		if err != nil {
+			return nil, err
+		}
+		appendRecords(frag, recs)
+	}
+	return frag, nil
+}
+
+// packRequests merges possibly overlapping or out-of-order byte ranges
+// into a valid (sorted, disjoint) view and returns a slicer recovering
+// each original range from the buffer a view-based read yields. Adjacent
+// partitions share index-array boundary entries, so their ranges overlap
+// by one record — exactly what a single rank owning adjacent partitions
+// produces.
+func packRequests(reqs []mpiio.Segment) (mpiio.View, func(buf []byte, i int) []byte) {
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return reqs[order[a]].Offset < reqs[order[b]].Offset })
+	var view mpiio.View
+	for _, i := range order {
+		s := reqs[i]
+		if s.Length == 0 {
+			continue
+		}
+		if n := len(view.Segments); n > 0 {
+			last := &view.Segments[n-1]
+			if s.Offset <= last.Offset+last.Length {
+				if end := s.Offset + s.Length; end > last.Offset+last.Length {
+					last.Length = end - last.Offset
+				}
+				continue
+			}
+		}
+		view.Segments = append(view.Segments, s)
+	}
+	pos := make([]int64, len(view.Segments))
+	var acc int64
+	for i, s := range view.Segments {
+		pos[i] = acc
+		acc += s.Length
+	}
+	slicer := func(buf []byte, i int) []byte {
+		q := reqs[i]
+		j := sort.Search(len(view.Segments), func(k int) bool {
+			s := view.Segments[k]
+			return s.Offset+s.Length > q.Offset
+		})
+		start := pos[j] + (q.Offset - view.Segments[j].Offset)
+		end := start + q.Length
+		if end > int64(len(buf)) {
+			end = int64(len(buf))
+		}
+		return buf[start:end]
+	}
+	return view, slicer
+}
+
+// readPartsCollective loads the given partitions with collective two-phase
+// reads: for every database volume (in the deterministic order all ranks
+// derive from meta.Parts), three ReadCollective calls cover the index
+// arrays, header ranges, and sequence ranges of everyone's extents. Ranks
+// with no extents in a volume — the master always — participate with empty
+// views. Returns one fragment per requested partition, identical to what
+// readPart produces.
+func readPartsCollective(r *mpi.Rank, files *fileCache, meta jobMeta, mine []int) (map[int]*blast.Fragment, error) {
+	var vols []string
+	seen := make(map[string]bool)
+	for _, part := range meta.Parts {
+		for _, e := range part {
+			if !seen[e.VolBase] {
+				seen[e.VolBase] = true
+				vols = append(vols, e.VolBase)
+			}
+		}
+	}
+	frags := make(map[int]*blast.Fragment, len(mine))
+	type pending struct {
+		part int
+		e    wireExtent
+		recs []formatdb.Record
+	}
+	for _, pi := range mine {
+		frags[pi] = &blast.Fragment{}
+	}
+	for _, vol := range vols {
+		// My extents in this volume, in partition order.
+		var exts []pending
+		for _, pi := range mine {
+			for _, e := range meta.Parts[pi] {
+				if e.VolBase == vol {
+					exts = append(exts, pending{part: pi, e: e})
+				}
+			}
+		}
+		var idxReqs, hdrReqs, seqReqs []mpiio.Segment
+		for _, x := range exts {
+			arr := 8 * int64(x.e.To-x.e.From+1)
+			idxReqs = append(idxReqs,
+				mpiio.Segment{Offset: x.e.HdrArrayPos, Length: arr},
+				mpiio.Segment{Offset: x.e.SeqArrayPos, Length: arr})
+			hdrReqs = append(hdrReqs, mpiio.Segment{Offset: x.e.HdrOff, Length: x.e.HdrLen})
+			seqReqs = append(seqReqs, mpiio.Segment{Offset: x.e.SeqOff, Length: x.e.SeqLen})
+		}
+		readAll := func(path string, reqs []mpiio.Segment) ([]byte, func([]byte, int) []byte, error) {
+			f, err := files.file(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			view, slicer := packRequests(reqs)
+			if err := f.SetView(view); err != nil {
+				return nil, nil, err
+			}
+			buf, err := f.ReadCollective()
+			return buf, slicer, err
+		}
+		idxBuf, idxAt, err := readAll(formatdb.IndexPath(vol), idxReqs)
+		if err != nil {
+			return nil, err
+		}
+		hdrBuf, hdrAt, err := readAll(formatdb.HeaderPath(vol), hdrReqs)
+		if err != nil {
+			return nil, err
+		}
+		seqBuf, seqAt, err := readAll(formatdb.SeqPath(vol), seqReqs)
+		if err != nil {
+			return nil, err
+		}
+		for i, x := range exts {
+			hdrOffs := formatdb.DecodeOffsets(idxAt(idxBuf, 2*i))
+			seqOffs := formatdb.DecodeOffsets(idxAt(idxBuf, 2*i+1))
+			recs, err := formatdb.DecodeWithOffsets(x.e.OIDFrom, hdrOffs, seqOffs,
+				hdrAt(hdrBuf, i), seqAt(seqBuf, i))
+			if err != nil {
+				return nil, err
+			}
+			appendRecords(frags[x.part], recs)
+		}
+	}
+	return frags, nil
 }
 
 // exchangeThreshold implements early score communication: ranks gather
@@ -972,7 +1354,7 @@ func exchangeThreshold(r *mpi.Rank, scores []int64, k int) int64 {
 			flat = append(flat, int64(v))
 		}
 	}
-	if len(flat) <= k {
+	if len(flat) < k {
 		return -1 << 62
 	}
 	sort.Slice(flat, func(a, b int) bool { return flat[a] > flat[b] })
@@ -982,4 +1364,14 @@ func exchangeThreshold(r *mpi.Rank, scores []int64, k int) int64 {
 // AdaptiveBoundsForTest exposes the batch-boundary computation to tests.
 func AdaptiveBoundsForTest(volumes []int64, budget int64) []int {
 	return adaptiveBounds(volumes, budget)
+}
+
+// FixedBoundsForTest exposes the fixed batch-boundary computation to tests.
+func FixedBoundsForTest(n, b int) []int {
+	return fixedBounds(n, b)
+}
+
+// ExchangeThresholdForTest exposes the early-score threshold exchange.
+func ExchangeThresholdForTest(r *mpi.Rank, scores []int64, k int) int64 {
+	return exchangeThreshold(r, scores, k)
 }

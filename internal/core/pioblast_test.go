@@ -9,6 +9,7 @@ import (
 	"parblast/internal/core"
 	"parblast/internal/engine"
 	"parblast/internal/formatdb"
+	"parblast/internal/metrics"
 	"parblast/internal/mpi"
 	"parblast/internal/mpiblast"
 	"parblast/internal/seq"
@@ -504,5 +505,299 @@ func TestAdaptiveBoundsProperties(t *testing.T) {
 	}
 	if got := core.AdaptiveBoundsForTest(volumes, 1); len(got) != len(volumes)+1 {
 		t.Fatalf("tiny budget should give per-query batches: %v", got)
+	}
+}
+
+// --- Read path: collective input reads and input/search overlap ---
+
+func TestCollectiveReadPreservesOutput(t *testing.T) {
+	fx := makeFixture(t, 300)
+	for _, prof := range []vfs.Profile{vfs.XFSLike(), vfs.NFSLike()} {
+		seqOut, _, pioOut, _, _ := runAllThree(t, fx, 4, 9, prof, nil,
+			core.Options{CollectiveRead: true})
+		if !bytes.Equal(seqOut, pioOut) {
+			t.Fatalf("collective reads changed the output on %s (first diff %d)",
+				prof.Name, firstDiff(seqOut, pioOut))
+		}
+	}
+}
+
+func TestPrefetchPreservesOutput(t *testing.T) {
+	fx := makeFixture(t, 300)
+	for _, depth := range []int{1, 2, 4} {
+		seqOut, _, pioOut, _, _ := runAllThree(t, fx, 4, 9, vfs.XFSLike(), nil,
+			core.Options{PrefetchDepth: depth})
+		if !bytes.Equal(seqOut, pioOut) {
+			t.Fatalf("prefetch depth %d changed the output", depth)
+		}
+	}
+}
+
+// TestReadPathCombosPreserveOutput sweeps every combination of collective
+// reads, prefetch, and dynamic assignment (dynamic falls back to
+// independent reads, with the prefetch pipelining the greedy protocol).
+func TestReadPathCombosPreserveOutput(t *testing.T) {
+	fx := makeFixture(t, 300)
+	for _, dynamic := range []bool{false, true} {
+		for _, collective := range []bool{false, true} {
+			for _, depth := range []int{0, 1, 2} {
+				opts := core.Options{
+					DynamicAssignment: dynamic,
+					CollectiveRead:    collective,
+					PrefetchDepth:     depth,
+				}
+				seqOut, _, pioOut, _, _ := runAllThree(t, fx, 5, 12, vfs.XFSLike(), nil, opts)
+				if !bytes.Equal(seqOut, pioOut) {
+					t.Fatalf("opts %+v changed the output (first diff %d)",
+						opts, firstDiff(seqOut, pioOut))
+				}
+			}
+		}
+	}
+}
+
+// TestCollectiveReadReducesInputTime is the read-side §3 claim on the
+// strided platform: many workers each reading many small extents from the
+// one NFS channel pay per-operation latency, while the collective
+// aggregates them into a few large sieved reads.
+func TestCollectiveReadReducesInputTime(t *testing.T) {
+	fx := makeFixture(t, 400)
+	run := func(opts core.Options) engine.RunResult {
+		nodes := fx.newCluster(t, 5, vfs.NFSLike(), nil, 0)
+		job := *fx.job
+		job.Fragments = 16
+		res, err := core.Run(nodes, 5, testCost(), &job, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	indep := run(core.Options{})
+	coll := run(core.Options{CollectiveRead: true})
+	if coll.Phase.Input >= indep.Phase.Input {
+		t.Fatalf("collective input phase %.4fs not below independent %.4fs",
+			coll.Phase.Input, indep.Phase.Input)
+	}
+}
+
+// TestPrefetchReducesWall: with the input stage pipelined against search,
+// partition reads after the first hide behind compute, shrinking makespan.
+// Needs spare storage parallelism (XFS's channel pool) — on the one-channel
+// NFS profile with several workers, cross-worker contention already keeps
+// the channel saturated and overlap cannot shorten the critical path.
+func TestPrefetchReducesWall(t *testing.T) {
+	fx := makeFixture(t, 1200)
+	run := func(n int, prof vfs.Profile, opts core.Options) engine.RunResult {
+		nodes := fx.newCluster(t, n, prof, nil, 0)
+		job := *fx.job
+		job.Fragments = 12
+		res, err := core.Run(nodes, n, testCost(), &job, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	syncRes := run(4, vfs.XFSLike(), core.Options{})
+	async := run(4, vfs.XFSLike(), core.Options{PrefetchDepth: 2})
+	if async.Wall >= syncRes.Wall {
+		t.Fatalf("prefetch wall %.4fs not below synchronous %.4fs", async.Wall, syncRes.Wall)
+	}
+	if async.Phase.Input >= syncRes.Phase.Input {
+		t.Fatalf("prefetch input phase %.4fs not below synchronous %.4fs (nothing hidden)",
+			async.Phase.Input, syncRes.Phase.Input)
+	}
+	dynSync := run(4, vfs.XFSLike(), core.Options{DynamicAssignment: true})
+	dynAsync := run(4, vfs.XFSLike(), core.Options{DynamicAssignment: true, PrefetchDepth: 1})
+	if dynAsync.Wall >= dynSync.Wall {
+		t.Fatalf("dynamic prefetch wall %.4fs not below synchronous %.4fs",
+			dynAsync.Wall, dynSync.Wall)
+	}
+	// Uncontended NFS (one worker): every read after the first hides
+	// entirely behind the previous partition's search.
+	nfsSync := run(2, vfs.NFSLike(), core.Options{})
+	nfsAsync := run(2, vfs.NFSLike(), core.Options{PrefetchDepth: 2})
+	if nfsAsync.Wall >= nfsSync.Wall {
+		t.Fatalf("NFS prefetch wall %.4fs not below synchronous %.4fs", nfsAsync.Wall, nfsSync.Wall)
+	}
+}
+
+// TestSearchPhaseExcludesQueueing is the regression test for the dynamic
+// loop's phase misattribution: waiting at the master's assignment queue was
+// billed to the search phase. Search must be pure compute — invariant under
+// a 100× network latency change.
+func TestSearchPhaseExcludesQueueing(t *testing.T) {
+	fx := makeFixture(t, 400)
+	run := func(lat float64) engine.RunResult {
+		nodes := fx.newCluster(t, 4, vfs.XFSLike(), nil, 0)
+		job := *fx.job
+		job.Fragments = 9
+		cost := testCost()
+		cost.NetLatency = lat
+		res, err := core.Run(nodes, 4, cost, &job, core.Options{DynamicAssignment: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(40e-6)
+	slow := run(4e-3)
+	if fast.Phase.Search != slow.Phase.Search {
+		t.Fatalf("search phase depends on net latency (%.6fs vs %.6fs): rendezvous wait is misattributed",
+			fast.Phase.Search, slow.Phase.Search)
+	}
+	// The extra latency is real — it must show up in the wall clock (as
+	// idle/queueing), just not in the search bucket.
+	if slow.Wall <= fast.Wall {
+		t.Fatalf("slower network should raise wall time (%.6fs vs %.6fs)", slow.Wall, fast.Wall)
+	}
+}
+
+// TestFileOpenCacheBoundsOpens: satellite for the triple-open bug — each
+// worker now opens every database file once, regardless of how many
+// partitions it reads.
+func TestFileOpenCacheBoundsOpens(t *testing.T) {
+	fx := makeFixture(t, 300)
+	nodes := fx.newCluster(t, 4, vfs.XFSLike(), nil, 0)
+	reg := metrics.NewRegistry()
+	job := *fx.job
+	job.Fragments = 18
+	cfg := mpi.Config{Cost: testCost(), Metrics: reg}
+	if _, err := core.RunConfig(nodes, 4, cfg, &job, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var opens int64
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == "mpiio.opens" {
+			opens += c.Value
+		}
+	}
+	// Per rank: 3 database files per volume (1 volume here) + the shared
+	// output file. Without the cache this would be 3 opens per partition:
+	// 18 partitions / 3 workers × 3 + 1 = 19 per worker.
+	maxOpens := int64(4 * (3 + 1))
+	if opens == 0 || opens > maxOpens {
+		t.Fatalf("mpiio.opens = %d, want 1..%d (file handles not cached?)", opens, maxOpens)
+	}
+}
+
+// TestBatchBoundsEdges covers the degenerate batching inputs: no queries,
+// non-positive batch size, zero/negative budget, one over-budget query,
+// and all-zero volumes. Bounds must always start at 0, end at n, and be
+// strictly increasing.
+func TestBatchBoundsEdges(t *testing.T) {
+	checkBounds := func(name string, bounds []int, n int) {
+		t.Helper()
+		if bounds[0] != 0 || bounds[len(bounds)-1] != n {
+			t.Fatalf("%s: endpoints wrong: %v (n=%d)", name, bounds, n)
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Fatalf("%s: bounds not strictly increasing: %v", name, bounds)
+			}
+		}
+	}
+	if got := core.FixedBoundsForTest(0, 5); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("fixedBounds(0) = %v, want [0]", got)
+	}
+	if got := core.FixedBoundsForTest(-3, 5); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("fixedBounds(-3) = %v, want [0]", got)
+	}
+	checkBounds("b=0 clamps to 1", core.FixedBoundsForTest(4, 0), 4)
+	if got := core.FixedBoundsForTest(4, 0); len(got) != 5 {
+		t.Fatalf("fixedBounds(4, 0) = %v, want per-query batches", got)
+	}
+	checkBounds("b>n", core.FixedBoundsForTest(3, 100), 3)
+
+	if got := core.AdaptiveBoundsForTest(nil, 100); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("adaptiveBounds(no queries) = %v, want [0]", got)
+	}
+	vols := []int64{10, 10, 10}
+	for _, budget := range []int64{0, -5} {
+		got := core.AdaptiveBoundsForTest(vols, budget)
+		checkBounds("non-positive budget", got, len(vols))
+		if len(got) != len(vols)+1 {
+			t.Fatalf("budget %d should give per-query batches: %v", budget, got)
+		}
+	}
+	// One query alone over budget still forms its own (single-query) batch.
+	over := []int64{5, 1000, 5}
+	checkBounds("over-budget query", core.AdaptiveBoundsForTest(over, 100), len(over))
+	// All-zero volumes never exceed any budget: one batch.
+	zeros := []int64{0, 0, 0, 0}
+	got := core.AdaptiveBoundsForTest(zeros, 0)
+	checkBounds("all-zero volumes", got, len(zeros))
+}
+
+// TestExchangeThresholdBoundary: with exactly k global hits the threshold
+// must be the k-th best score, not the no-prune sentinel (the off-by-one
+// this PR fixes); with k-1 hits it must fall back to the sentinel.
+func TestExchangeThresholdBoundary(t *testing.T) {
+	const k = 4
+	scores := [][]int64{{90, 50}, {70, 60}} // exactly k across 2 ranks
+	got := make([]int64, 2)
+	if _, err := mpi.Run(2, testCost(), func(r *mpi.Rank) error {
+		got[r.ID()] = core.ExchangeThresholdForTest(r, scores[r.ID()], k)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != got[1] {
+		t.Fatalf("threshold differs across ranks: %d vs %d", got[0], got[1])
+	}
+	if got[0] != 50 {
+		t.Fatalf("threshold with exactly k hits = %d, want 50 (k-th best)", got[0])
+	}
+	short := [][]int64{{90}, {70, 60}} // k-1 hits
+	if _, err := mpi.Run(2, testCost(), func(r *mpi.Rank) error {
+		got[r.ID()] = core.ExchangeThresholdForTest(r, short[r.ID()], k)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != -1<<62 {
+		t.Fatalf("threshold with k-1 hits = %d, want the no-prune sentinel", got[0])
+	}
+}
+
+// TestReadPathSurvivesTransientIOFaults: deterministic transient storage
+// errors (failed attempts + backoff) delay reads but must never change the
+// output bytes, in any read-path mode.
+func TestReadPathSurvivesTransientIOFaults(t *testing.T) {
+	fx := makeFixture(t, 300)
+
+	seqNodes := fx.newCluster(t, 1, vfs.RAMDisk(), nil, 0)
+	seqJob := *fx.job
+	if err := engine.RunSequential(seqNodes[0].Shared, &seqJob); err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := seqNodes[0].Shared.ReadFile(fx.job.OutputPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, opts := range []core.Options{
+		{CollectiveRead: true},
+		{PrefetchDepth: 2},
+		{DynamicAssignment: true, PrefetchDepth: 1},
+	} {
+		nodes := fx.newCluster(t, 4, vfs.NFSLike(), nil, 0)
+		if err := nodes[0].Shared.InjectFaults(vfs.FaultPlan{
+			FirstOp: 2, Every: 3, Failures: 2, Backoff: 1e-3,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		job := *fx.job
+		job.Fragments = 9
+		if _, err := core.Run(nodes, 4, testCost(), &job, opts); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		out, err := nodes[0].Shared.ReadFile(job.OutputPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, oracle) {
+			t.Fatalf("opts %+v: transient I/O faults changed the output (first diff %d)",
+				opts, firstDiff(out, oracle))
+		}
 	}
 }

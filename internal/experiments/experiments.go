@@ -375,6 +375,47 @@ func Ablations(lab *Lab) ([]Row, error) {
 	return rows, nil
 }
 
+// ReadPath quantifies the input-stage redesign. The blade/NFS pair is the
+// paper's strided-read scenario: with many virtual fragments per worker on
+// the one-channel store, independent reads pay per-operation latency for
+// every extent, while two-phase collective reads aggregate them into a few
+// large sieved accesses issued by the aggregator (rank 0 — the otherwise
+// idle master — on NFS). The Altix pair measures input/search overlap:
+// with spare storage parallelism, prefetching the next partition hides its
+// read time behind the current partition's search. The dynamic pair
+// pipelines the greedy assignment protocol the same way.
+func ReadPath(lab *Lab) ([]Row, error) {
+	const procs = 8
+	frags := 8 * (procs - 1)
+	type variant struct {
+		name string
+		plat platform
+		pio  core.Options
+	}
+	variants := []variant{
+		{name: "pio-indep-read", plat: blade()},
+		{name: "pio-coll-read", plat: blade(), pio: core.Options{CollectiveRead: true}},
+		{name: "pio-sync-read", plat: altix()},
+		{name: "pio-prefetch2", plat: altix(), pio: core.Options{PrefetchDepth: 2}},
+		{name: "pio-dyn", plat: altix(), pio: core.Options{DynamicAssignment: true}},
+		{name: "pio-dyn-prefetch", plat: altix(), pio: core.Options{DynamicAssignment: true, PrefetchDepth: 1}},
+	}
+	var rows []Row
+	for _, v := range variants {
+		row, err := execute(runSpec{
+			lab: lab, plat: v.plat, engineName: "pio",
+			procs: procs, fragments: frags, queryBytes: lab.QuerySizes[2], pio: v.pio,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("readpath %s: %w", v.name, err)
+		}
+		row.Label = v.name
+		row.Engine = v.name
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
 // Hetero measures the §5 load-balancing extension on a heterogeneous
 // cluster: 25% of the workers run at one-third speed. Static natural
 // partitioning stalls on the slow nodes; dynamic greedy assignment of
@@ -744,6 +785,7 @@ func Specs() []Spec {
 		{"fig3b", "Figure 3(b): output scalability at 62 processes", Fig3b},
 		{"fig4", "Figure 4: node scalability (blade/NFS)", Fig4},
 		{"ablations", "Ablations: output mode, pruning, batching, granularity", Ablations},
+		{"readpath", "Read path: collective input reads + input/search overlap", ReadPath},
 		{"hetero", "Heterogeneous cluster: static vs dynamic partitioning", Hetero},
 	}
 }

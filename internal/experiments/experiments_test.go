@@ -376,3 +376,58 @@ func itoa(n int) string {
 	}
 	return string(b)
 }
+
+func TestReadPathShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	rows, err := ReadPath(lab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Label] = r
+	}
+	indep, coll := byName["pio-indep-read"], byName["pio-coll-read"]
+	// §3 read side: on the strided NFS platform, two-phase collective
+	// reads must strictly reduce the input phase — aggregated sieved
+	// accesses instead of per-extent latency — and with it the makespan.
+	if coll.Result.Phase.Input >= indep.Result.Phase.Input {
+		t.Fatalf("collective input %.4f not below independent %.4f",
+			coll.Result.Phase.Input, indep.Result.Phase.Input)
+	}
+	if coll.Result.Phase.Input > 0.5*indep.Result.Phase.Input {
+		t.Fatalf("collective input %.4f should be well under half of independent %.4f",
+			coll.Result.Phase.Input, indep.Result.Phase.Input)
+	}
+	if coll.Result.Wall >= indep.Result.Wall {
+		t.Fatalf("collective wall %.4f not below independent %.4f",
+			coll.Result.Wall, indep.Result.Wall)
+	}
+	// Input/search overlap: prefetching shrinks both the exposed input
+	// time and the makespan where the storage has spare parallelism.
+	syncRow, pre := byName["pio-sync-read"], byName["pio-prefetch2"]
+	if pre.Result.Phase.Input >= syncRow.Result.Phase.Input {
+		t.Fatalf("prefetch input %.4f not below synchronous %.4f (nothing hidden)",
+			pre.Result.Phase.Input, syncRow.Result.Phase.Input)
+	}
+	if pre.Result.Wall >= syncRow.Result.Wall {
+		t.Fatalf("prefetch wall %.4f not below synchronous %.4f",
+			pre.Result.Wall, syncRow.Result.Wall)
+	}
+	// The pipelined greedy protocol hides its reads too. (Walls are not
+	// strictly comparable: prefetching shifts request arrival order, so
+	// the greedy assignment itself changes.)
+	dyn, dynPre := byName["pio-dyn"], byName["pio-dyn-prefetch"]
+	if dynPre.Result.Phase.Input >= dyn.Result.Phase.Input {
+		t.Fatalf("dynamic prefetch input %.4f not below synchronous %.4f",
+			dynPre.Result.Phase.Input, dyn.Result.Phase.Input)
+	}
+	// Every variant produces the same report.
+	for _, r := range rows {
+		if r.OutputBytes != indep.OutputBytes {
+			t.Fatalf("%s changed the output size: %d vs %d", r.Label, r.OutputBytes, indep.OutputBytes)
+		}
+	}
+}

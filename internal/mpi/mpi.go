@@ -825,6 +825,53 @@ func (r *Rank) IO(fs *vfs.FS, n int64) {
 	r.clock.AdvanceTo(end)
 }
 
+// IOHandle is an in-flight asynchronous storage access created by StartIO
+// and settled by Wait.
+type IOHandle struct {
+	start, end float64
+	done       bool
+}
+
+// StartIO begins an asynchronous storage access: the operation books a
+// storage channel from the rank's current virtual time — contention,
+// queueing, and transient-fault backoff resolve exactly as for IO — but the
+// rank's clock does not advance. The rank may keep computing (or start more
+// accesses) and settle the bill with Wait, paying max(io, compute) instead
+// of their sum. Deterministic: issue order follows the discrete-event
+// schedule, so the booked completion time is reproducible.
+func (r *Rank) StartIO(fs *vfs.FS, n int64) *IOHandle {
+	r.maybeCrash()
+	start := r.clock.Now()
+	end := fs.Access(start, n)
+	r.Metrics().Counter("mpi.async_io_started", r.id).Inc()
+	return &IOHandle{start: start, end: end}
+}
+
+// Wait completes an asynchronous access: if the operation is still running,
+// the clock advances to its completion time, charging the current phase;
+// if it already finished while the rank was doing other work, Wait is free.
+// The hidden/exposed split of every operation's duration is recorded as the
+// overlap-effectiveness metrics mpi.async_io_hidden_s / _exposed_s.
+// Waiting on a nil or already-settled handle is a no-op.
+func (r *Rank) Wait(h *IOHandle) {
+	r.maybeCrash()
+	if h == nil || h.done {
+		return
+	}
+	h.done = true
+	hidden, exposed := simtime.OverlapSplit(h.start, h.end, r.clock.Now())
+	r.clock.AdvanceTo(h.end)
+	reg := r.Metrics()
+	reg.Gauge("mpi.async_io_hidden_s", r.id).Add(hidden)
+	reg.Gauge("mpi.async_io_exposed_s", r.id).Add(exposed)
+}
+
+// FaultsScheduled reports whether this world's configuration schedules any
+// faults. Protocols use it to choose between tight blocking receives
+// (exact timing) and crash-aware timeout loops (survivable, but each poll
+// rounds the wait up to the next timeout boundary).
+func (r *Rank) FaultsScheduled() bool { return len(r.world.config.Faults) > 0 }
+
 // Send transmits data to dst with the given tag. It is buffered and does
 // not block. The payload is NOT copied; callers must not mutate it after
 // sending.

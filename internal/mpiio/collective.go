@@ -1,0 +1,482 @@
+// Two-phase (aggregator) collective I/O: the bounds exchange, aggregator
+// domain partitioning, and shuffle-record plumbing shared by the collective
+// write and the collective read, plus the two operations themselves.
+package mpiio
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"parblast/internal/mpi"
+	"parblast/internal/vfs"
+)
+
+// bound is one live participant's view extent, gathered in phase 0.
+type bound struct {
+	rank   int
+	lo, hi int64 // hi < 0 means an empty view
+}
+
+// collPlan is the agreed outcome of a collective operation's bounds
+// exchange: the live participants in ascending rank order, this rank's
+// position among them, the aggregator count, and the aggregate extent.
+// Every participant computes an identical plan from the AllGather result,
+// so the message pattern needs no further coordination.
+type collPlan struct {
+	parts    []bound
+	selfIdx  int
+	numAgg   int
+	gLo, gHi int64
+}
+
+// planCollective runs phase 0+1 of the two-phase algorithm: exchange view
+// bounds, agree on participants, and choose aggregators — as many as the
+// file system sustains concurrently, at most the participant count.
+// Aggregator a is the a-th live participant (rank a when nobody crashed).
+// Crashed ranks contribute nil to the AllGather; everyone skips them
+// identically, so the survivors still agree on domains and messages.
+func (f *File) planCollective() collPlan {
+	var lo, hi int64 = 1<<62 - 1, -1
+	for _, s := range f.view.Segments {
+		if s.Length == 0 {
+			continue
+		}
+		if s.Offset < lo {
+			lo = s.Offset
+		}
+		if end := s.Offset + s.Length; end > hi {
+			hi = end
+		}
+	}
+	bounds := make([]byte, 16)
+	putI64(bounds[0:], lo)
+	putI64(bounds[8:], hi)
+	all := f.rank.AllGather(bounds)
+	p := collPlan{selfIdx: -1, gLo: 1<<62 - 1, gHi: -1}
+	for i, b := range all {
+		if len(b) < 16 {
+			continue // crashed rank: no bounds
+		}
+		l, h := getI64(b[0:]), getI64(b[8:])
+		if i == f.rank.ID() {
+			p.selfIdx = len(p.parts)
+		}
+		p.parts = append(p.parts, bound{rank: i, lo: l, hi: h})
+		if h < 0 {
+			continue // that rank moves nothing
+		}
+		if l < p.gLo {
+			p.gLo = l
+		}
+		if h > p.gHi {
+			p.gHi = h
+		}
+	}
+	p.numAgg = f.fs.Profile().Channels
+	if p.numAgg > len(p.parts) {
+		p.numAgg = len(p.parts)
+	}
+	if p.numAgg < 1 {
+		p.numAgg = 1
+	}
+	return p
+}
+
+// empty reports that no participant has any data in its view.
+func (p collPlan) empty() bool { return p.gHi < 0 }
+
+// isAggregator reports whether the calling rank serves an aggregator domain.
+func (p collPlan) isAggregator() bool { return p.selfIdx >= 0 && p.selfIdx < p.numAgg }
+
+// domainOf returns aggregator a's half-open byte domain.
+func (p collPlan) domainOf(a int) (int64, int64) {
+	extent := p.gHi - p.gLo
+	d0 := p.gLo + extent*int64(a)/int64(p.numAgg)
+	d1 := p.gLo + extent*int64(a+1)/int64(p.numAgg)
+	return d0, d1
+}
+
+// aggAt returns the aggregator whose domain contains file offset off.
+func (p collPlan) aggAt(off int64) int {
+	extent := p.gHi - p.gLo
+	a := int(int64(p.numAgg) * (off - p.gLo) / extent)
+	if a >= p.numAgg {
+		a = p.numAgg - 1
+	}
+	// Integer flooring can land one domain low at boundaries; walk up
+	// until off is strictly inside [d0, d1).
+	_, d1 := p.domainOf(a)
+	for off >= d1 && a < p.numAgg-1 {
+		a++
+		_, d1 = p.domainOf(a)
+	}
+	return a
+}
+
+// overlaps reports whether a participant extent [blo, bhi) can intersect
+// aggregator a's domain. A rank ships to (and an aggregator receives from)
+// a peer only when this holds — both sides compute it from the gathered
+// bounds, so the skip rule is symmetric and no zero-byte messages are
+// exchanged.
+func (p collPlan) overlaps(blo, bhi int64, a int) bool {
+	if bhi < 0 {
+		return false // empty view: nothing to move
+	}
+	d0, d1 := p.domainOf(a)
+	return blo < d1 && d0 < bhi
+}
+
+// splitView walks the rank's view segments in order, splitting each at
+// aggregator domain boundaries, and hands every (aggregator, offset,
+// length) piece to fn. Both collectives derive their shuffle traffic from
+// this one walk, so the write and read message patterns agree by
+// construction.
+func (f *File) splitView(p collPlan, fn func(a int, off, length int64)) {
+	for _, s := range f.view.Segments {
+		segOff := s.Offset
+		remain := s.Length
+		for remain > 0 {
+			a := p.aggAt(segOff)
+			_, d1 := p.domainOf(a)
+			take := remain
+			if segOff+take > d1 {
+				take = d1 - segOff
+			}
+			fn(a, segOff, take)
+			segOff += take
+			remain -= take
+		}
+	}
+}
+
+// recvShuffle receives one shuffle-phase message. When the world schedules
+// faults it uses a crash-aware timeout loop so a dead peer surfaces as
+// mpi.ErrRankFailed instead of a deadlock; a message that arrives within
+// any polling window still completes at exactly its arrival time, so the
+// fault-free schedule is unchanged.
+func (f *File) recvShuffle(src, tag int) ([]byte, error) {
+	r := f.rank
+	if !r.FaultsScheduled() {
+		data, _, _ := r.Recv(src, tag)
+		return data, nil
+	}
+	timeout := 250 * r.Cost().NetLatency
+	for {
+		data, _, _, err := r.RecvTimeout(src, tag, timeout)
+		if err == nil {
+			return data, nil
+		}
+		if errors.Is(err, mpi.ErrRankFailed) {
+			return nil, err
+		}
+		// Timed out: the peer is alive but not ready yet.
+	}
+}
+
+// aggSpan is a covered interval inside an aggregator's domain.
+type aggSpan struct {
+	off  int64
+	data []byte
+}
+
+// WriteCollective writes data through the installed views of ALL ranks as
+// one collective operation. Every rank of the world must call it together
+// (ranks with nothing to write pass an empty view and nil data).
+//
+// Algorithm (two-phase I/O):
+//  1. ranks exchange view bounds to learn the aggregate extent;
+//  2. the extent is partitioned over A aggregator ranks;
+//  3. each rank ships the pieces of its data that land in each
+//     aggregator's domain (real messages, real bytes);
+//  4. each aggregator coalesces what it received and issues one large
+//     sequential write per contiguous span.
+func (f *File) WriteCollective(data []byte) error {
+	if int64(len(data)) != f.view.TotalLength() {
+		return fmt.Errorf("mpiio: data length %d != view length %d", len(data), f.view.TotalLength())
+	}
+	r := f.rank
+	reg := r.Metrics()
+	reg.Counter("mpiio.collective_writes", r.ID()).Inc()
+
+	plan := f.planCollective()
+	if plan.empty() {
+		return nil // nobody writes anything
+	}
+
+	// Phase 2: ship my data to each aggregator. Message layout:
+	// repeated records of (offset int64, length int64, bytes). splitView
+	// hands out pieces in view order, so a running cursor locates each
+	// piece's bytes inside data.
+	myPieces := make([][]byte, plan.numAgg)
+	var dataPos int64
+	f.splitView(plan, func(a int, off, length int64) {
+		rec := make([]byte, 16+length)
+		putI64(rec[0:], off)
+		putI64(rec[8:], length)
+		copy(rec[16:], data[dataPos:dataPos+length])
+		dataPos += length
+		myPieces[a] = append(myPieces[a], rec...)
+	})
+
+	for a := 0; a < plan.numAgg; a++ {
+		dst := plan.parts[a].rank
+		if dst == r.ID() {
+			continue // keep local pieces local (no self-message cost)
+		}
+		if !plan.overlaps(plan.parts[plan.selfIdx].lo, plan.parts[plan.selfIdx].hi, a) {
+			continue // none of my data can land in this domain
+		}
+		reg.Counter("mpiio.shuffle_bytes", r.ID()).Add(int64(len(myPieces[a])))
+		r.Send(dst, tagBase+1, myPieces[a])
+	}
+
+	// Phase 3: aggregators collect, coalesce, and write. The receive set
+	// mirrors the send rule: only participants whose extent overlaps my
+	// domain will ship anything.
+	if plan.isAggregator() {
+		var spans []aggSpan
+		addRecords := func(buf []byte) {
+			for len(buf) > 0 {
+				off := getI64(buf[0:])
+				length := getI64(buf[8:])
+				spans = append(spans, aggSpan{off: off, data: buf[16 : 16+length]})
+				buf = buf[16+length:]
+			}
+		}
+		addRecords(myPieces[plan.selfIdx])
+		for _, p := range plan.parts {
+			if p.rank == r.ID() || !plan.overlaps(p.lo, p.hi, plan.selfIdx) {
+				continue
+			}
+			buf, _, _ := r.Recv(p.rank, tagBase+1)
+			addRecords(buf)
+		}
+		// Coalesce into maximal contiguous runs.
+		sort.Slice(spans, func(i, j int) bool { return spans[i].off < spans[j].off })
+		i := 0
+		for i < len(spans) {
+			runStart := spans[i].off
+			var runData []byte
+			expected := runStart
+			for i < len(spans) && spans[i].off == expected {
+				runData = append(runData, spans[i].data...)
+				expected += int64(len(spans[i].data))
+				r.MemCopy(int64(len(spans[i].data)))
+				i++
+			}
+			f.f.WriteAt(runData, runStart)
+			r.IO(f.fs, int64(len(runData)))
+			reg.Counter("mpiio.agg_writes", r.ID()).Inc()
+			reg.Counter("mpiio.agg_write_bytes", r.ID()).Add(int64(len(runData)))
+		}
+	}
+
+	// Phase 4: the collective completes when the slowest participant is
+	// done (MPI_File_write_all is collective).
+	r.Barrier()
+	return nil
+}
+
+// sieveGap is the hole-skipping threshold for data sieving: two requested
+// extents closer than this are read through in one sequential access,
+// because transferring the hole costs less than a second operation's
+// latency (gap/bandwidth < latency). Derived from the file-system profile,
+// so it adapts to each platform deterministically.
+func sieveGap(p vfs.Profile) int64 {
+	return int64(p.Latency * p.Bandwidth)
+}
+
+// readReq is one participant's requested extent inside an aggregator's
+// domain.
+type readReq struct {
+	rank   int
+	off, n int64
+}
+
+// ReadCollective reads the bytes selected by the installed views of ALL
+// ranks as one collective operation (MPI_File_read_all). Every rank of the
+// world must call it together; ranks with nothing to read pass an empty
+// view and receive nil.
+//
+// Algorithm (two-phase I/O, read side):
+//  1. ranks exchange view bounds to learn the aggregate extent;
+//  2. the extent is partitioned over A aggregator ranks;
+//  3. each rank ships its REQUESTS (offset/length records, no data) to
+//     the aggregators whose domains its extent overlaps;
+//  4. each aggregator coalesces the requests into sieved runs — holes
+//     smaller than the file system's latency×bandwidth product are read
+//     through in one sequential access, with the skipped-hole bytes
+//     counted as mpiio.sieve_waste_bytes — and ships each rank its
+//     pieces back;
+//  5. ranks assemble the received pieces into view order.
+//
+// Unlike the write side, a read always has a recovery path: the source
+// file is intact, so when faults are scheduled and an aggregator dies
+// mid-protocol, the requester falls back to independent reads of the
+// missing pieces and the collective still returns correct bytes.
+func (f *File) ReadCollective() ([]byte, error) {
+	r := f.rank
+	reg := r.Metrics()
+	reg.Counter("mpiio.collective_reads", r.ID()).Inc()
+
+	plan := f.planCollective()
+	if plan.empty() {
+		return nil, nil // nobody reads anything
+	}
+	if plan.selfIdx < 0 {
+		return nil, fmt.Errorf("mpiio: calling rank missing from collective plan")
+	}
+	self := plan.parts[plan.selfIdx]
+
+	// Phase 2: ship request records (offset, length) to each overlapping
+	// aggregator; keep the local aggregator's requests local.
+	myReqs := make([][]byte, plan.numAgg)
+	f.splitView(plan, func(a int, off, length int64) {
+		rec := make([]byte, 16)
+		putI64(rec[0:], off)
+		putI64(rec[8:], length)
+		myReqs[a] = append(myReqs[a], rec...)
+	})
+	for a := 0; a < plan.numAgg; a++ {
+		dst := plan.parts[a].rank
+		if dst == r.ID() || !plan.overlaps(self.lo, self.hi, a) {
+			continue
+		}
+		reg.Counter("mpiio.read_requests", r.ID()).Inc()
+		r.Send(dst, tagBase+2, myReqs[a])
+	}
+
+	// Phase 3: aggregators gather requests, read their domains with data
+	// sieving, and ship each requester its pieces back as (offset,
+	// length, bytes) records.
+	var localPieces []byte // my own pieces when I am an aggregator
+	if plan.isAggregator() {
+		a := plan.selfIdx
+		var reqs []readReq
+		addReqs := func(rank int, buf []byte) {
+			for len(buf) >= 16 {
+				reqs = append(reqs, readReq{rank: rank, off: getI64(buf[0:]), n: getI64(buf[8:])})
+				buf = buf[16:]
+			}
+		}
+		addReqs(r.ID(), myReqs[a])
+		live := make(map[int]bool)
+		for _, p := range plan.parts {
+			if p.rank == r.ID() || !plan.overlaps(p.lo, p.hi, a) {
+				continue
+			}
+			buf, err := f.recvShuffle(p.rank, tagBase+2)
+			if err != nil {
+				continue // requester died before asking; nothing to serve
+			}
+			live[p.rank] = true
+			addReqs(p.rank, buf)
+		}
+		sort.Slice(reqs, func(i, j int) bool {
+			if reqs[i].off != reqs[j].off {
+				return reqs[i].off < reqs[j].off
+			}
+			return reqs[i].rank < reqs[j].rank
+		})
+		gap := sieveGap(f.fs.Profile())
+		reply := make(map[int][]byte)
+		for i := 0; i < len(reqs); {
+			// Grow a sieved run: absorb requests whose holes are below
+			// the threshold.
+			runStart := reqs[i].off
+			runEnd := runStart + reqs[i].n
+			j := i + 1
+			for j < len(reqs) && reqs[j].off <= runEnd+gap {
+				if end := reqs[j].off + reqs[j].n; end > runEnd {
+					runEnd = end
+				}
+				j++
+			}
+			buf := make([]byte, runEnd-runStart)
+			got := f.f.ReadAt(buf, runStart)
+			r.IO(f.fs, int64(got))
+			reg.Counter("mpiio.agg_reads", r.ID()).Inc()
+			reg.Counter("mpiio.agg_read_bytes", r.ID()).Add(int64(got))
+			// Waste = hole bytes transferred but not requested by anyone.
+			covEnd := runStart
+			var waste int64
+			for k := i; k < j; k++ {
+				if reqs[k].off > covEnd {
+					waste += reqs[k].off - covEnd
+				}
+				if end := reqs[k].off + reqs[k].n; end > covEnd {
+					covEnd = end
+				}
+			}
+			reg.Counter("mpiio.sieve_waste_bytes", r.ID()).Add(waste)
+			for k := i; k < j; k++ {
+				q := reqs[k]
+				data := buf[q.off-runStart:]
+				if q.n < int64(len(data)) {
+					data = data[:q.n]
+				}
+				rec := make([]byte, 16+len(data))
+				putI64(rec[0:], q.off)
+				putI64(rec[8:], int64(len(data)))
+				copy(rec[16:], data)
+				reply[q.rank] = append(reply[q.rank], rec...)
+				r.MemCopy(int64(len(data)))
+			}
+			i = j
+		}
+		localPieces = reply[r.ID()]
+		for _, p := range plan.parts {
+			if p.rank == r.ID() || !plan.overlaps(p.lo, p.hi, a) || !live[p.rank] {
+				continue
+			}
+			reg.Counter("mpiio.shuffle_bytes", r.ID()).Add(int64(len(reply[p.rank])))
+			r.Send(p.rank, tagBase+3, reply[p.rank])
+		}
+	}
+
+	// Phase 5: collect my pieces from every overlapping aggregator and
+	// assemble them in view order. A dead aggregator's pieces are re-read
+	// independently — correct, just slower.
+	pieces := make(map[int64][]byte)
+	failed := make(map[int]bool)
+	addPieces := func(buf []byte) {
+		for len(buf) >= 16 {
+			off := getI64(buf[0:])
+			length := getI64(buf[8:])
+			pieces[off] = buf[16 : 16+length]
+			buf = buf[16+length:]
+		}
+	}
+	for a := 0; a < plan.numAgg; a++ {
+		if !plan.overlaps(self.lo, self.hi, a) {
+			continue
+		}
+		if plan.parts[a].rank == r.ID() {
+			addPieces(localPieces)
+			continue
+		}
+		buf, err := f.recvShuffle(plan.parts[a].rank, tagBase+3)
+		if err != nil {
+			failed[a] = true
+			continue
+		}
+		addPieces(buf)
+	}
+	out := make([]byte, 0, f.view.TotalLength())
+	f.splitView(plan, func(a int, off, length int64) {
+		if failed[a] {
+			out = append(out, f.ReadAt(off, length)...)
+			return
+		}
+		data := pieces[off]
+		out = append(out, data...)
+		r.MemCopy(int64(len(data)))
+	})
+
+	// The read completes when the slowest participant is done
+	// (MPI_File_read_all is collective). Barrier is crash-aware: it
+	// completes over survivors if a peer died mid-protocol.
+	r.Barrier()
+	return out, nil
+}

@@ -1,19 +1,19 @@
 // Package mpiio implements an MPI-IO-style parallel I/O layer over the
 // simulated cluster storage: shared-file handles, file views (displacement
-// lists), independent reads/writes, and collective writes using the
-// two-phase (aggregator) algorithm that ROMIO made standard.
+// lists), independent reads/writes, and collective reads and writes using
+// the two-phase (aggregator) algorithm that ROMIO made standard.
 //
-// The collective write is a real data-shuffling protocol executed over the
+// The collectives are real data-shuffling protocols executed over the
 // simulated MPI runtime: ranks exchange actual bytes with aggregator ranks,
-// and each aggregator issues one large sequential write per contiguous
-// span. Both the data movement and the virtual-time costs therefore emerge
-// from the same code path the paper's §3.3 describes, including the
-// contrast with many small independent strided writes.
+// and each aggregator issues one large sequential access per coalesced
+// span (reads additionally sieve through small holes). Both the data
+// movement and the virtual-time costs therefore emerge from the same code
+// path the paper's §3 describes, including the contrast with many small
+// independent strided accesses.
 package mpiio
 
 import (
 	"fmt"
-	"sort"
 
 	"parblast/internal/mpi"
 	"parblast/internal/vfs"
@@ -79,12 +79,14 @@ func Open(rank *mpi.Rank, fs *vfs.FS, path string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
+	rank.Metrics().Counter("mpiio.opens", rank.ID()).Inc()
 	return &File{rank: rank, fs: fs, f: f}, nil
 }
 
 // OpenOrCreate returns a handle, creating the file if needed (every rank of
 // a parallel job opens the shared output file this way).
 func OpenOrCreate(rank *mpi.Rank, fs *vfs.FS, path string) *File {
+	rank.Metrics().Counter("mpiio.opens", rank.ID()).Inc()
 	return &File{rank: rank, fs: fs, f: fs.OpenOrCreate(path)}
 }
 
@@ -146,199 +148,15 @@ func (f *File) WriteIndependent(data []byte) error {
 	return nil
 }
 
-// aggSpan is a covered interval inside an aggregator's domain.
-type aggSpan struct {
-	off  int64
-	data []byte
-}
-
-// WriteCollective writes data through the installed views of ALL ranks as
-// one collective operation. Every rank of the world must call it together
-// (ranks with nothing to write pass an empty view and nil data).
-//
-// Algorithm (two-phase I/O):
-//  1. ranks exchange view bounds to learn the aggregate extent;
-//  2. the extent is partitioned over A aggregator ranks;
-//  3. each rank ships the pieces of its data that land in each
-//     aggregator's domain (real messages, real bytes);
-//  4. each aggregator coalesces what it received and issues one large
-//     sequential write per contiguous span.
-func (f *File) WriteCollective(data []byte) error {
-	if int64(len(data)) != f.view.TotalLength() {
-		return fmt.Errorf("mpiio: data length %d != view length %d", len(data), f.view.TotalLength())
-	}
-	r := f.rank
-	reg := r.Metrics()
-	reg.Counter("mpiio.collective_writes", r.ID()).Inc()
-
-	// Phase 0: agree on the aggregate extent. Crashed ranks contribute nil
-	// to the AllGather; everyone skips them identically, so the surviving
-	// ranks still agree on participants, domains, and message pattern.
-	var lo, hi int64 = 1<<62 - 1, -1
+// ReadIndependent reads the rank's view using one independent read per
+// segment — the strided-small-reads pattern two-phase collective reads
+// exist to avoid. Used as an ablation baseline mirroring WriteIndependent.
+func (f *File) ReadIndependent() []byte {
+	out := make([]byte, 0, f.view.TotalLength())
 	for _, s := range f.view.Segments {
-		if s.Length == 0 {
-			continue
-		}
-		if s.Offset < lo {
-			lo = s.Offset
-		}
-		if end := s.Offset + s.Length; end > hi {
-			hi = end
-		}
+		out = append(out, f.ReadAt(s.Offset, s.Length)...)
 	}
-	bounds := make([]byte, 16)
-	putI64(bounds[0:], lo)
-	putI64(bounds[8:], hi)
-	all := r.AllGather(bounds)
-	type bound struct {
-		rank   int
-		lo, hi int64
-	}
-	var parts []bound // live participants, ascending rank
-	selfIdx := -1
-	var gLo, gHi int64 = 1<<62 - 1, -1
-	for i, b := range all {
-		if len(b) < 16 {
-			continue // crashed rank: no bounds
-		}
-		l, h := getI64(b[0:]), getI64(b[8:])
-		if i == r.ID() {
-			selfIdx = len(parts)
-		}
-		parts = append(parts, bound{rank: i, lo: l, hi: h})
-		if h < 0 {
-			continue // that rank writes nothing
-		}
-		if l < gLo {
-			gLo = l
-		}
-		if h > gHi {
-			gHi = h
-		}
-	}
-	if gHi < 0 {
-		return nil // nobody writes anything
-	}
-
-	// Phase 1: choose aggregators — as many as the file system sustains
-	// concurrently, at most the participant count. Aggregator a is the
-	// a-th live participant (rank a when nobody crashed).
-	numAgg := f.fs.Profile().Channels
-	if numAgg > len(parts) {
-		numAgg = len(parts)
-	}
-	if numAgg < 1 {
-		numAgg = 1
-	}
-	extent := gHi - gLo
-	domainOf := func(a int) (int64, int64) {
-		d0 := gLo + extent*int64(a)/int64(numAgg)
-		d1 := gLo + extent*int64(a+1)/int64(numAgg)
-		return d0, d1
-	}
-
-	// Phase 2: ship my data to each aggregator. Message layout:
-	// repeated records of (offset int64, length int64, bytes).
-	myPieces := make([][]byte, numAgg)
-	var pos int64
-	for _, s := range f.view.Segments {
-		chunk := data[pos : pos+s.Length]
-		pos += s.Length
-		// Split the segment across aggregator domains.
-		segOff := s.Offset
-		for len(chunk) > 0 {
-			a := int(int64(numAgg) * (segOff - gLo) / extent)
-			if a >= numAgg {
-				a = numAgg - 1
-			}
-			// Integer flooring can land one domain low at boundaries;
-			// walk up until segOff is strictly inside [d0, d1).
-			_, d1 := domainOf(a)
-			for segOff >= d1 && a < numAgg-1 {
-				a++
-				_, d1 = domainOf(a)
-			}
-			take := int64(len(chunk))
-			if segOff+take > d1 {
-				take = d1 - segOff
-			}
-			rec := make([]byte, 16+take)
-			putI64(rec[0:], segOff)
-			putI64(rec[8:], take)
-			copy(rec[16:], chunk[:take])
-			myPieces[a] = append(myPieces[a], rec...)
-			segOff += take
-			chunk = chunk[take:]
-		}
-	}
-	// A rank ships to aggregator a only when its own extent can overlap
-	// a's domain — both sides compute this from the gathered bounds, so
-	// the skip rule is symmetric and no zero-byte messages are exchanged
-	// (they used to go to EVERY aggregator, paying latency for nothing).
-	overlaps := func(blo, bhi int64, a int) bool {
-		if bhi < 0 {
-			return false // empty view: nothing to ship
-		}
-		d0, d1 := domainOf(a)
-		return blo < d1 && d0 < bhi
-	}
-	for a := 0; a < numAgg; a++ {
-		dst := parts[a].rank
-		if dst == r.ID() {
-			continue // keep local pieces local (no self-message cost)
-		}
-		if !overlaps(lo, hi, a) {
-			continue // none of my data can land in this domain
-		}
-		reg.Counter("mpiio.shuffle_bytes", r.ID()).Add(int64(len(myPieces[a])))
-		r.Send(dst, tagBase+1, myPieces[a])
-	}
-
-	// Phase 3: aggregators collect, coalesce, and write. The receive set
-	// mirrors the send rule: only participants whose extent overlaps my
-	// domain will ship anything.
-	if selfIdx >= 0 && selfIdx < numAgg {
-		var spans []aggSpan
-		addRecords := func(buf []byte) {
-			for len(buf) > 0 {
-				off := getI64(buf[0:])
-				length := getI64(buf[8:])
-				spans = append(spans, aggSpan{off: off, data: buf[16 : 16+length]})
-				buf = buf[16+length:]
-			}
-		}
-		addRecords(myPieces[selfIdx])
-		for _, p := range parts {
-			if p.rank == r.ID() || !overlaps(p.lo, p.hi, selfIdx) {
-				continue
-			}
-			buf, _, _ := r.Recv(p.rank, tagBase+1)
-			addRecords(buf)
-		}
-		// Coalesce into maximal contiguous runs.
-		sort.Slice(spans, func(i, j int) bool { return spans[i].off < spans[j].off })
-		i := 0
-		for i < len(spans) {
-			runStart := spans[i].off
-			var runData []byte
-			expected := runStart
-			for i < len(spans) && spans[i].off == expected {
-				runData = append(runData, spans[i].data...)
-				expected += int64(len(spans[i].data))
-				r.MemCopy(int64(len(spans[i].data)))
-				i++
-			}
-			f.f.WriteAt(runData, runStart)
-			r.IO(f.fs, int64(len(runData)))
-			reg.Counter("mpiio.agg_writes", r.ID()).Inc()
-			reg.Counter("mpiio.agg_write_bytes", r.ID()).Add(int64(len(runData)))
-		}
-	}
-
-	// Phase 4: the collective completes when the slowest participant is
-	// done (MPI_File_write_all is collective).
-	r.Barrier()
-	return nil
+	return out
 }
 
 // ReadContiguous reads the rank's contiguous range [off, off+n) with one
@@ -346,6 +164,37 @@ func (f *File) WriteCollective(data []byte) error {
 // contiguous range from every shared database file").
 func (f *File) ReadContiguous(off, n int64) []byte {
 	return f.ReadAt(off, n)
+}
+
+// AsyncRead is an in-flight independent read started with StartReadAt: the
+// data is already captured, but the storage time has not been charged —
+// Wait settles it, letting callers overlap the access with compute.
+type AsyncRead struct {
+	rank *mpi.Rank
+	h    *mpi.IOHandle
+	buf  []byte
+}
+
+// StartReadAt begins an asynchronous independent read of n bytes at off.
+// The storage channel is booked from the rank's current virtual time, but
+// the clock does not advance until Wait — so a read issued before a search
+// costs max(io, compute), the overlap pioBLAST's prefetch pipeline exploits.
+func (f *File) StartReadAt(off, n int64) *AsyncRead {
+	buf := make([]byte, n)
+	got := f.f.ReadAt(buf, off)
+	h := f.rank.StartIO(f.fs, int64(got))
+	if reg := f.rank.Metrics(); reg != nil {
+		reg.Counter("mpiio.async_reads", f.rank.ID()).Inc()
+		reg.Counter("mpiio.read_bytes", f.rank.ID()).Add(int64(got))
+	}
+	return &AsyncRead{rank: f.rank, h: h, buf: buf[:got]}
+}
+
+// Wait blocks until the read's virtual completion time and returns the
+// data. Safe to call more than once; later calls are free.
+func (a *AsyncRead) Wait() []byte {
+	a.rank.Wait(a.h)
+	return a.buf
 }
 
 func putI64(b []byte, v int64) {

@@ -81,6 +81,27 @@ func (c *Clock) AdvanceTo(t float64) {
 	}
 }
 
+// OverlapSplit splits an asynchronous operation's [start, end) interval,
+// observed at time now, into the part hidden behind whatever the rank did
+// in the meantime and the part still exposed (left to wait out). It is the
+// accounting identity behind async I/O: a rank that starts an access, then
+// computes, then waits, advances by max(io, compute) instead of their sum,
+// and hidden+exposed always equals the operation's full duration.
+func OverlapSplit(start, end, now float64) (hidden, exposed float64) {
+	if end <= start {
+		return 0, 0
+	}
+	hidden = end - start
+	if now < end {
+		exposed = end - now
+		hidden -= exposed
+	}
+	if hidden < 0 {
+		hidden = 0
+	}
+	return hidden, exposed
+}
+
 // Bucket returns the accumulated seconds of one phase.
 func (c *Clock) Bucket(phase string) float64 { return c.buckets[phase] }
 

@@ -105,3 +105,27 @@ func TestSortedPhases(t *testing.T) {
 		t.Fatalf("phases = %v", got)
 	}
 }
+
+func TestOverlapSplit(t *testing.T) {
+	cases := []struct {
+		start, end, now float64
+		hidden, exposed float64
+	}{
+		{0, 10, 0, 0, 10},  // waited immediately: fully exposed
+		{0, 10, 4, 4, 6},   // partial overlap
+		{0, 10, 10, 10, 0}, // finished exactly at the wait
+		{0, 10, 25, 10, 0}, // finished long before the wait: fully hidden
+		{5, 5, 7, 0, 0},    // zero-length operation
+		{9, 5, 9, 0, 0},    // degenerate interval
+	}
+	for _, c := range cases {
+		h, e := OverlapSplit(c.start, c.end, c.now)
+		if h != c.hidden || e != c.exposed {
+			t.Fatalf("OverlapSplit(%g,%g,%g) = (%g,%g), want (%g,%g)",
+				c.start, c.end, c.now, h, e, c.hidden, c.exposed)
+		}
+		if c.end > c.start && h+e != c.end-c.start {
+			t.Fatalf("hidden+exposed = %g, want full duration %g", h+e, c.end-c.start)
+		}
+	}
+}

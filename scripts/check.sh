@@ -31,3 +31,7 @@ go run ./cmd/parblast -db "$tmp/db.fasta" -query "$tmp/q.fasta" \
     -engine pio -procs 4 -out "$tmp/results.txt" \
     -report "$tmp/run.json" -trace-out "$tmp/trace.json" >/dev/null
 go run ./scripts/validatereport -run "$tmp/run.json" -trace "$tmp/trace.json"
+
+# Read-path smoke: the collective-read / prefetch experiment row must run
+# end to end on a scaled-down workload.
+go run ./cmd/benchsuite -exp readpath -dbseqs 120 -querybytes 1500 >/dev/null
