@@ -1,0 +1,100 @@
+// Command parblastlint runs the project's invariant-lint suite: a
+// registry of typed static analyzers that mechanically enforce the
+// simulator's determinism contract (no wall clock, seeded randomness
+// only, no map-order leaks into output, matched MPI tag protocols,
+// clock-neutral telemetry). See internal/lint and DESIGN.md §12.
+//
+// Usage:
+//
+//	parblastlint [-json] [-analyzers a,b] [-baseline file] [-write-baseline] [packages...]
+//
+// Packages default to ./... of the enclosing module. The exit status is 0
+// when every finding is baselined (or there are none), 1 when fresh
+// findings exist, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parblast/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	analyzers := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	baselinePath := flag.String("baseline", "lint.baseline", "baseline file of triaged findings (relative to the module root)")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite the baseline file with the current findings and exit 0")
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected, err := lint.ByName(*analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader()
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.Run(loader, pkgs, selected)
+
+	baseFile := *baselinePath
+	if !os.IsPathSeparator(baseFile[0]) {
+		baseFile = loader.ModuleDir + string(os.PathSeparator) + baseFile
+	}
+	if *writeBaseline {
+		f, err := os.Create(baseFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lint.WriteBaseline(f, diags); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "parblastlint: wrote %d finding(s) to %s\n", len(diags), baseFile)
+		return
+	}
+	baseline, err := lint.LoadBaseline(baseFile)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, baselined := baseline.Filter(diags)
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, fresh); err != nil {
+			fatal(err)
+		}
+	} else {
+		lint.WriteText(os.Stdout, fresh)
+	}
+	if len(baselined) > 0 {
+		fmt.Fprintf(os.Stderr, "parblastlint: %d baselined finding(s) suppressed\n", len(baselined))
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "parblastlint: %d fresh finding(s)\n", len(fresh))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "parblastlint:", err)
+	os.Exit(2)
+}

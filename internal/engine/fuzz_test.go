@@ -1,6 +1,9 @@
 package engine
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // FuzzDecodeQueryMeta hardens the wire codec against corrupt or malicious
 // buffers: decoding must never panic or allocate absurdly, only set Err.
@@ -17,6 +20,35 @@ func FuzzDecodeQueryMeta(f *testing.F) {
 			t.Fatal("empty buffer decoded without error")
 		}
 		_ = qm
+	})
+}
+
+// FuzzWireQueries hardens the query-broadcast codec: decoding arbitrary
+// bytes must never panic, and any payload that decodes cleanly must
+// round-trip through the encoder to an equal value (the encoding is
+// canonical — the byte-identity pins depend on it).
+func FuzzWireQueries(f *testing.F) {
+	f.Add(EncodeWireQueries(WireQueries{
+		IDs:          []string{"q1", "q2"},
+		Descriptions: []string{"first query", ""},
+		Residues:     [][]byte{{1, 2, 3}, {4}},
+		Kind:         1,
+	}))
+	f.Add(EncodeWireQueries(WireQueries{}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeWireQueries(data)
+		if err != nil {
+			return
+		}
+		q2, err := DecodeWireQueries(EncodeWireQueries(q))
+		if err != nil {
+			t.Fatalf("re-decoding a round-tripped payload failed: %v", err)
+		}
+		if !reflect.DeepEqual(q, q2) {
+			t.Fatalf("round-trip changed the payload:\nbefore: %#v\nafter:  %#v", q, q2)
+		}
 	})
 }
 

@@ -1,0 +1,255 @@
+// Package lint is a stdlib-only static-analysis framework that enforces
+// the simulator's determinism contract mechanically. Every result this
+// reproduction reports rests on invariants that used to be held only by
+// convention — virtual time never touches the wall clock, metrics never
+// advance clocks, map iteration never leaks nondeterminism into
+// byte-identity-pinned output, and the MPI tag protocols stay matched.
+// The analyzers in this package encode those invariants over the typed
+// ASTs of every package, so a violation fails CI instead of waiting for a
+// reviewer to notice (PR 2's collective-traffic-in-the-wrong-bucket bug
+// and PR 4's rendezvous-wait misattribution were both slips of exactly
+// this kind).
+//
+// The framework loads packages with `go list -json`, type-checks them
+// with go/types, runs a registry of analyzers, and emits deterministic
+// (file, line, analyzer, message) diagnostics with optional JSON output
+// and a checked-in baseline for triage. cmd/parblastlint is the CLI.
+package lint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding. The quadruple (File, Line, Analyzer,
+// Message) is the identity used for ordering, deduplication, and baseline
+// matching; Col refines the position for display.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the canonical single-line form, which is also the
+// baseline file format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// key is the baseline identity: everything except the column (column
+// drift should not invalidate a triaged baseline entry).
+func (d Diagnostic) key() string {
+	return fmt.Sprintf("%s:%d:%s:%s", d.File, d.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run receives every loaded package at
+// once: most analyzers iterate per package, but cross-package checks
+// (tagmatch) see the whole module.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(u *Unit)
+}
+
+// Unit is the context one analyzer runs in.
+type Unit struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	rel      func(string) string
+	analyzer string
+	diags    []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (u *Unit) Reportf(pos token.Pos, format string, args ...any) {
+	position := u.Fset.Position(pos)
+	u.diags = append(u.diags, Diagnostic{
+		File:     u.rel(position.Filename),
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: u.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer registry in the order they run. The order
+// does not affect output: diagnostics are sorted before they are returned.
+func All() []*Analyzer {
+	return []*Analyzer{
+		WallclockAnalyzer,
+		SeededRandAnalyzer,
+		MapOrderAnalyzer,
+		TagMatchAnalyzer,
+		ClockNeutralAnalyzer,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("wallclock,maporder").
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the given analyzers over the packages and returns the
+// deduplicated, deterministically ordered diagnostics.
+func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		u := &Unit{Fset: l.Fset, Pkgs: pkgs, rel: l.Rel, analyzer: a.Name}
+		a.Run(u)
+		diags = append(diags, u.diags...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	// Deduplicate: identical findings from overlapping package loads
+	// (a package listed under two patterns) collapse to one record.
+	out := diags[:0]
+	var last Diagnostic
+	for i, d := range diags {
+		if i > 0 && d == last {
+			continue
+		}
+		out = append(out, d)
+		last = d
+	}
+	return out
+}
+
+// WriteJSON emits the diagnostics as an indented JSON array (stable field
+// order, records pre-sorted by Run) with a trailing newline. An empty set
+// encodes as [] rather than null.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}
+
+// WriteText emits the canonical one-line-per-finding form.
+func WriteText(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintln(w, d.String())
+	}
+}
+
+// Baseline is a set of triaged findings that do not fail the gate. The
+// file format is the canonical diagnostic line form; blank lines and
+// #-comments are ignored.
+type Baseline struct {
+	keys map[string]bool
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{keys: make(map[string]bool)}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return b, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		d, err := parseDiagnosticLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+		}
+		b.keys[d.key()] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	return b, nil
+}
+
+// parseDiagnosticLine inverts Diagnostic.String.
+func parseDiagnosticLine(line string) (Diagnostic, error) {
+	var d Diagnostic
+	// file:line:col: analyzer: message — file may not contain ':' (the
+	// tree's paths are plain relative paths).
+	parts := strings.SplitN(line, ":", 5)
+	if len(parts) != 5 {
+		return d, fmt.Errorf("malformed line %q", line)
+	}
+	d.File = parts[0]
+	if _, err := fmt.Sscanf(parts[1], "%d", &d.Line); err != nil {
+		return d, fmt.Errorf("malformed line number in %q", line)
+	}
+	if _, err := fmt.Sscanf(parts[2], "%d", &d.Col); err != nil {
+		return d, fmt.Errorf("malformed column in %q", line)
+	}
+	d.Analyzer = strings.TrimSpace(parts[3])
+	d.Message = strings.TrimSpace(parts[4])
+	return d, nil
+}
+
+// Filter splits diagnostics into baselined (already triaged) and fresh
+// (gate-failing) findings.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh, baselined []Diagnostic) {
+	for _, d := range diags {
+		if b.keys[d.key()] {
+			baselined = append(baselined, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	return fresh, baselined
+}
+
+// WriteBaseline writes the diagnostics in baseline file form.
+func WriteBaseline(w io.Writer, diags []Diagnostic) error {
+	fmt.Fprintln(w, "# parblastlint baseline: triaged findings that do not fail the gate.")
+	fmt.Fprintln(w, "# Prefer fixing or //lint:-justifying findings over baselining them.")
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

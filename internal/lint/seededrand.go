@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// seededRandAllowed are the math/rand package-level functions that
+// construct explicitly seeded generators rather than consuming the global
+// one. Everything else at package level (Intn, Float64, Perm, Shuffle,
+// Seed, ...) draws from the process-global source, whose sequence depends
+// on what every other caller in the process has consumed — nondeterminism
+// smuggled in through a side door. Methods on an explicitly seeded
+// *rand.Rand are fine and are the required replacement.
+var seededRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes a *rand.Rand: already seeded by construction
+	"NewPCG":     true, // math/rand/v2 seeded source constructors
+	"NewChaCha8": true,
+}
+
+// SeededRandAnalyzer enforces the second determinism invariant: every
+// random draw in non-test code flows from an explicitly seeded
+// *rand.Rand, so a run is a pure function of its seed and config.
+var SeededRandAnalyzer = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand top-level functions in non-test code; " +
+		"require an explicitly seeded *rand.Rand",
+	Run: func(u *Unit) {
+		for _, p := range u.Pkgs {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					for _, path := range []string{"math/rand", "math/rand/v2"} {
+						name, fromRand := selectorFromPkg(p.Info, sel, path)
+						if !fromRand || seededRandAllowed[name] {
+							continue
+						}
+						// Only functions draw from the global source;
+						// type and constant references (rand.Rand in a
+						// signature) are fine.
+						if _, isFunc := p.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+							continue
+						}
+						u.Reportf(sel.Pos(),
+							"rand.%s draws from the global math/rand source: use an explicitly seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+							name)
+					}
+					return true
+				})
+			}
+		}
+	},
+}

@@ -1,0 +1,64 @@
+// Package tagmatch is a fixture for the tagmatch analyzer: every tag is
+// a constant, every sent tag is received somewhere, and vice versa.
+package tagmatch
+
+import "parblast/internal/mpi"
+
+const (
+	tagPing   = 201
+	tagPong   = 202
+	tagOrphan = 203
+	tagGhost  = 204
+	tagHelped = 205
+	tagLoop   = 206
+)
+
+func master(r *mpi.Rank) {
+	r.Send(1, tagPing, nil)
+	_, _, _ = r.Recv(1, tagPong)
+	r.Send(1, tagOrphan, nil)     // want "tag 203 is sent here but never received"
+	_, _, _ = r.Recv(1, tagGhost) // want "tag 204 is received here but never sent"
+}
+
+func worker(r *mpi.Rank) {
+	data, _, _ := r.Recv(0, tagPing)
+	r.Send(0, tagPong, data)
+}
+
+func badDynamic(r *mpi.Rank) {
+	tag := tagPing + r.ID()
+	r.Send(1, tag, nil) // want "message tag tag is not a constant"
+}
+
+// recvLoop forwards its tag parameter into a receive: the analyzer
+// resolves the tag at recvLoop's call sites, so no annotation is needed.
+func recvLoop(r *mpi.Rank, tag int) []byte {
+	for {
+		data, _, _, err := r.RecvTimeout(0, tag, 1)
+		if err == nil {
+			return data
+		}
+	}
+}
+
+func sender(r *mpi.Rank) {
+	r.Send(0, tagHelped, nil)
+}
+
+func receiver(r *mpi.Rank) {
+	_ = recvLoop(r, tagHelped)
+}
+
+func closurePair(r *mpi.Rank) {
+	recv := func(src, tag int) []byte {
+		data, _, _ := r.Recv(src, tag)
+		return data
+	}
+	r.Send(0, tagLoop, nil)
+	_ = recv(0, tagLoop)
+}
+
+func justifiedDynamic(r *mpi.Rank, base int) {
+	//lint:tagmatch per-worker reply tags are derived at runtime and pinned by the e2e seed tests
+	r.Send(1, base+r.ID(), nil)
+}

@@ -1,0 +1,16 @@
+// Package tagmatchwild is a negative fixture for the tagmatch analyzer:
+// an AnyTag receive is a wildcard that covers every tag sent within the
+// package's protocol, so tagData needs no literal matching Recv.
+package tagmatchwild
+
+import "parblast/internal/mpi"
+
+const tagData = 301
+
+func master(r *mpi.Rank) {
+	_, _, _ = r.Recv(mpi.AnySource, mpi.AnyTag)
+}
+
+func worker(r *mpi.Rank) {
+	r.Send(0, tagData, nil)
+}

@@ -1,0 +1,26 @@
+// Package wallclock is a fixture for the wallclock analyzer: virtual
+// time must come from internal/simtime, never the host clock.
+package wallclock
+
+import (
+	"time"
+
+	"parblast/internal/simtime"
+)
+
+func bad() {
+	_ = time.Now()                  // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)    // want "time.Sleep waits on the wall clock"
+	_ = time.Since(time.Unix(0, 0)) // want "time.Since reads the wall clock"
+	_ = time.NewTicker(time.Second) // want "time.NewTicker ticks on the wall clock"
+	_ = time.After(time.Second)     // want "time.After waits on the wall clock"
+}
+
+func good() float64 {
+	c := simtime.NewClock()
+	c.Advance(0.002)
+	d := 3 * time.Millisecond // duration arithmetic is wall-clock-free
+	_ = d
+	_ = time.Unix(0, 0) // constructing times from data is fine
+	return c.Now()
+}

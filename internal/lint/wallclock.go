@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallclockForbidden are the package-level time functions that read or
+// wait on the wall clock. Referencing any of them (call or function
+// value) in non-test code breaks the simulation's reproducibility: all
+// time in the simulator is virtual, owned by internal/simtime, and a
+// single wall-clock read would make two runs of the same seed diverge.
+// Formatting-only helpers (time.Duration arithmetic, time.Unix, layout
+// constants) are deliberately allowed.
+var wallclockForbidden = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "waits on the wall clock",
+	"After":     "waits on the wall clock",
+	"AfterFunc": "schedules on the wall clock",
+	"Tick":      "ticks on the wall clock",
+	"NewTicker": "ticks on the wall clock",
+	"NewTimer":  "schedules on the wall clock",
+}
+
+// WallclockAnalyzer enforces the first determinism invariant: virtual
+// time never touches the wall clock. Test files are exempt (the loader
+// never feeds them), because tests legitimately time themselves.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Since/Sleep/After/Ticker outside _test.go; " +
+		"virtual time comes from internal/simtime only",
+	Run: func(u *Unit) {
+		for _, p := range u.Pkgs {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					name, fromTime := selectorFromPkg(p.Info, sel, "time")
+					if !fromTime {
+						return true
+					}
+					why, forbidden := wallclockForbidden[name]
+					if !forbidden {
+						return true
+					}
+					u.Reportf(sel.Pos(),
+						"time.%s %s: simulated code must take time from a simtime.Clock, never the host",
+						name, why)
+					return true
+				})
+			}
+		}
+	},
+}

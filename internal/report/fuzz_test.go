@@ -1,0 +1,34 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReportParse hardens the artifact reader: ParseRun must never panic
+// on arbitrary input, and anything it accepts must carry the right kind
+// discriminator and a version this reader supports.
+func FuzzReportParse(f *testing.F) {
+	var buf bytes.Buffer
+	if err := (Run{Version: Version, Kind: KindRun}).WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"version":1,"kind":"parblast-run"}`))
+	f.Add([]byte(`{"version":99,"kind":"parblast-run"}`))
+	f.Add([]byte(`{"version":1,"kind":"parblast-suite"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		run, err := ParseRun(data)
+		if err != nil {
+			return
+		}
+		if run.Kind != KindRun {
+			t.Fatalf("ParseRun accepted kind %q", run.Kind)
+		}
+		if run.Version < 1 || run.Version > Version {
+			t.Fatalf("ParseRun accepted version %d (reader supports 1..%d)", run.Version, Version)
+		}
+	})
+}

@@ -17,7 +17,19 @@ fi
 
 go build ./...
 go vet ./...
+
+# Invariant lint gate: the analyzers in internal/lint enforce the
+# determinism contract (no wall clock, seeded randomness, no map-order
+# leaks, matched MPI tags, clock-neutral telemetry). Fresh findings —
+# anything not triaged into lint.baseline — fail the build.
+go run ./cmd/parblastlint ./...
+
 go test -race ./...
+
+# Fuzz smoke: a few seconds per codec hardening target. Finds shallow
+# panics in the wire codec and artifact reader without a long campaign.
+go test -run=- -fuzz=FuzzWireQueries -fuzztime=5s ./internal/engine
+go test -run=- -fuzz=FuzzReportParse -fuzztime=5s ./internal/report
 go test -run=- -bench=SearchFragment -benchtime=1x ./internal/blast
 go run ./examples/quickstart >/dev/null
 

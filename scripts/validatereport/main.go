@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"parblast/internal/metrics"
 	"parblast/internal/report"
 )
 
@@ -43,8 +44,34 @@ func validateRun(path string) {
 			fail("%s: no metrics from layer %q", path, layer)
 		}
 	}
+	validateMetricsOrder(path, r.Metrics)
 	fmt.Printf("%s: ok (%s on %s, %d ranks, %d metric series)\n",
 		path, r.Info.Engine, r.Info.Platform, len(r.Ranks), len(r.Metrics.Counters)+len(r.Metrics.Gauges)+len(r.Metrics.Histograms))
+}
+
+// validateMetricsOrder enforces the snapshot's determinism contract: every
+// series list is sorted by (name, rank), so two runs of the same seed
+// produce byte-identical artifacts.
+func validateMetricsOrder(path string, s metrics.Snapshot) {
+	checkSorted := func(kind string, n int, at func(int) (string, int)) {
+		for i := 1; i < n; i++ {
+			pn, pr := at(i - 1)
+			cn, cr := at(i)
+			if pn > cn || (pn == cn && pr >= cr) {
+				fail("%s: %s series out of (name, rank) order: %q rank %d before %q rank %d",
+					path, kind, pn, pr, cn, cr)
+			}
+		}
+	}
+	checkSorted("counter", len(s.Counters), func(i int) (string, int) {
+		return s.Counters[i].Name, s.Counters[i].Rank
+	})
+	checkSorted("gauge", len(s.Gauges), func(i int) (string, int) {
+		return s.Gauges[i].Name, s.Gauges[i].Rank
+	})
+	checkSorted("histogram", len(s.Histograms), func(i int) (string, int) {
+		return s.Histograms[i].Name, s.Histograms[i].Rank
+	})
 }
 
 func validateTrace(path string) {
