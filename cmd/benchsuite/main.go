@@ -4,15 +4,18 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|fig1a|fig1b|table1|table2|fig3a|fig3b|fig4|ablations|readpath|hetero|faults]
-//	           [-dbseqs N] [-family N] [-querybytes N] [-report suite.json]
-//	benchsuite -kernelbench [-bench-out BENCH_1.json]
+//	benchsuite [-exp all|fig1a|fig1b|table1|table2|fig3a|fig3b|fig4|ablations|readpath|hetero|faults|mergescale]
+//	           [-dbseqs N] [-family N] [-querybytes N] [-mergescale-ranks 32,128]
+//	           [-report suite.json]
+//	benchsuite -kernelbench [-bench-out BENCH_1.json] [-mergescale]
 //
 // Times are virtual seconds from the cluster simulation; see EXPERIMENTS.md
 // for the paper-vs-measured comparison. -report additionally writes the
 // rows as a versioned machine-readable suite artifact (internal/report).
 // -kernelbench instead measures the search kernel itself (wall-clock ns/op
-// and allocs/op via testing.Benchmark) and writes the perf-trajectory record.
+// and allocs/op via testing.Benchmark) and writes the perf-trajectory record;
+// with -mergescale it appends the merge-scalability sweep (flat vs tree
+// master-merge time by rank count) so BENCH_N.json carries both curves.
 package main
 
 import (
@@ -20,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"parblast/internal/blast"
 	"parblast/internal/experiments"
@@ -35,13 +40,31 @@ var seedBaseline = []blast.KernelBenchResult{
 	{Name: "ExtendGapped", NsPerOp: 544499, AllocsPerOp: 218, BytesPerOp: 56312},
 }
 
-func runKernelBench(outPath string) error {
+func runKernelBench(outPath string, lab *experiments.Lab, mergeRanks []int) error {
 	results := blast.RunKernelBenchmarks()
 	doc := struct {
-		Suite    string                    `json:"suite"`
-		Results  []blast.KernelBenchResult `json:"results"`
-		Baseline []blast.KernelBenchResult `json:"seed_baseline"`
+		Suite        string                      `json:"suite"`
+		Results      []blast.KernelBenchResult   `json:"results"`
+		Baseline     []blast.KernelBenchResult   `json:"seed_baseline"`
+		MergeScale   []experiments.MergeScaleRow `json:"mergescale,omitempty"`
+		MergeSpeedup map[string]float64          `json:"merge_speedup,omitempty"`
 	}{Suite: "kernel", Results: results, Baseline: seedBaseline}
+	if lab != nil {
+		rows, err := experiments.MergeScale(lab, mergeRanks)
+		if err != nil {
+			return err
+		}
+		doc.Suite = "kernel+mergescale"
+		doc.MergeScale = rows
+		doc.MergeSpeedup = make(map[string]float64)
+		speedup := experiments.MergeSpeedup(rows)
+		for _, r := range rows {
+			if r.Fanout == 0 {
+				doc.MergeSpeedup[fmt.Sprintf("%d", r.Ranks)] = speedup[r.Ranks]
+			}
+		}
+		experiments.PrintMergeScaleRows(os.Stdout, rows)
+	}
 	data, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		return err
@@ -90,14 +113,55 @@ func faultSuiteRows(rows []experiments.FaultRow) []report.SuiteRow {
 }
 
 const faultsTitle = "Fault tolerance: worker crash at mid-search + transient I/O errors"
+const mergeScaleTitle = "Merge scalability: flat master-ingest vs hierarchical tree merge"
+
+// mergeScaleSuiteRows flattens merge-scalability rows into the suite
+// artifact's row shape: one row per (ranks, fanout) cell, phase-free.
+func mergeScaleSuiteRows(rows []experiments.MergeScaleRow) []report.SuiteRow {
+	out := make([]report.SuiteRow, 0, len(rows))
+	for _, r := range rows {
+		label := "flat"
+		if r.Fanout > 0 {
+			label = fmt.Sprintf("fanout=%d", r.Fanout)
+		}
+		out = append(out, report.SuiteRow{
+			Label:  label,
+			Engine: "mergescale",
+			Procs:  r.Ranks,
+			Summary: report.RunSummary{
+				Wall:        r.WallS,
+				OutputBytes: r.OutputBytes,
+			},
+		})
+	}
+	return out
+}
+
+// parseRankList parses a comma-separated rank-count list ("8,32").
+func parseRankList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad rank count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig1a, fig1b, table1, table2, fig3a, fig3b, fig4, ablations, readpath, hetero, faults")
+	exp := flag.String("exp", "all", "experiment to run: all, fig1a, fig1b, table1, table2, fig3a, fig3b, fig4, ablations, readpath, hetero, faults, mergescale")
 	dbSeqs := flag.Int("dbseqs", 0, "override database sequence count")
 	family := flag.Int("family", 0, "override family size (database redundancy)")
 	queryBytes := flag.Int("querybytes", 0, "override the default ('150 KB'-equivalent) query set volume")
 	kernelBench := flag.Bool("kernelbench", false, "run the search-kernel micro-benchmarks and write the perf-trajectory JSON")
 	benchOut := flag.String("bench-out", "BENCH_1.json", "output path for -kernelbench")
+	withMergeScale := flag.Bool("mergescale", false, "with -kernelbench: append the merge-scalability sweep to the JSON")
+	mergeRanksFlag := flag.String("mergescale-ranks", "", "comma-separated rank counts for the mergescale sweep (default 32,128,512,1024)")
 	reportPath := flag.String("report", "", "write a machine-readable JSON suite artifact to this path")
 	flag.Parse()
 
@@ -106,8 +170,18 @@ func main() {
 		os.Exit(1)
 	}
 
+	mergeRanks, err := parseRankList(*mergeRanksFlag)
+	if err != nil {
+		fail(err)
+	}
+
 	if *kernelBench {
-		if err := runKernelBench(*benchOut); err != nil {
+		var benchLab *experiments.Lab
+		if *withMergeScale {
+			l := experiments.DefaultLab()
+			benchLab = &l
+		}
+		if err := runKernelBench(*benchOut, benchLab, mergeRanks); err != nil {
 			fail(err)
 		}
 		return
@@ -149,6 +223,25 @@ func main() {
 		experiments.PrintFaultRows(os.Stdout, faults)
 		suite.Experiments = append(suite.Experiments, report.Experiment{
 			Name: "faults", Title: faultsTitle, Rows: faultSuiteRows(faults),
+		})
+		msRows, err := experiments.MergeScale(&lab, mergeRanks)
+		if err != nil {
+			fail(fmt.Errorf("mergescale: %w", err))
+		}
+		experiments.PrintMergeScaleRows(os.Stdout, msRows)
+		suite.Experiments = append(suite.Experiments, report.Experiment{
+			Name: "mergescale", Title: mergeScaleTitle, Rows: mergeScaleSuiteRows(msRows),
+		})
+	case "mergescale":
+		// Like faults, mergescale has its own row shape (master-clock merge
+		// spans, not phase breakdowns), so it bypasses the generic printer.
+		rows, err := experiments.MergeScale(&lab, mergeRanks)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintMergeScaleRows(os.Stdout, rows)
+		suite.Experiments = append(suite.Experiments, report.Experiment{
+			Name: "mergescale", Title: mergeScaleTitle, Rows: mergeScaleSuiteRows(rows),
 		})
 	case "faults":
 		// Faults returns its own row shape (recovery overheads, not phase

@@ -42,6 +42,8 @@ func main() {
 	collectiveRead := flag.Bool("collective-read", false, "pioBLAST: two-phase collective input reads (§3; static assignment only)")
 	prefetch := flag.Int("prefetch", 0, "pioBLAST: partitions to prefetch asynchronously while searching (0 = synchronous reads)")
 	batch := flag.Int("batch", 0, "pioBLAST: queries per collective write (§5 query batching)")
+	treeMerge := flag.Bool("tree-merge", false, "hierarchical tree merge of result metadata (both engines): group pre-merges on worker clocks, one bundle per subtree to the master")
+	mergeFanout := flag.Int("merge-fanout", 0, "tree-merge fan-out (children per node, ≥2; 0 = default 4)")
 	memBudget := flag.Int64("membudget", 0, "pioBLAST: adaptive batching memory budget in bytes (§5)")
 	searchThreads := flag.Int("search-threads", 0, "intra-rank search worker goroutines (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	timeline := flag.Bool("timeline", false, "print a per-rank phase timeline after the run")
@@ -160,6 +162,12 @@ func main() {
 			PrefetchDepth:     *prefetch,
 			QueryBatch:        *batch,
 			MemoryBudgetBytes: *memBudget,
+			TreeMerge:         *treeMerge,
+			MergeFanout:       *mergeFanout,
+		},
+		Mpi: parblast.MpiOptions{
+			TreeMerge:   *treeMerge,
+			MergeFanout: *mergeFanout,
 		},
 	}
 	if db.Kind == parblast.DNA {

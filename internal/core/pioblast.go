@@ -122,6 +122,16 @@ type Options struct {
 	// seconds (0 = 250 × NetLatency). Detection is timeout-paced but never
 	// wrong: a timeout only triggers a ground-truth liveness check.
 	FaultTimeout float64
+	// TreeMerge replaces the flat worker→master metadata streams with the
+	// hierarchical group merge: workers pre-merge their batch metadata up
+	// a k-ary reduction tree (the same top-k selection the master runs, so
+	// the result is byte-identical) and the master broadcasts the output
+	// layout back down the tree. The flat path remains the ablation
+	// baseline.
+	TreeMerge bool
+	// MergeFanout is the reduction-tree fan-out for TreeMerge
+	// (0 = mpi.DefaultTreeFanout).
+	MergeFanout int
 }
 
 // wireExtent ships one virtual-fragment extent to a worker: the ordinal
@@ -165,6 +175,10 @@ type jobMeta struct {
 	// phase; FTTimeout is the master's detection polling interval.
 	FT        bool
 	FTTimeout float64
+	// Tree selects the hierarchical metadata merge over the k-ary
+	// reduction tree with the given fan-out.
+	Tree       bool
+	TreeFanout int
 }
 
 // batchMetas is one worker's result metadata for a batch of queries.
@@ -214,8 +228,10 @@ func (s *selection) encode() []byte {
 }
 
 // encodeGo packs a master→worker go message: done flag plus the part
-// indices (if any) the worker must re-search on behalf of dead peers.
-func encodeGo(done bool, extras []int) []byte {
+// indices (if any) the worker must re-search on behalf of dead peers. The
+// final (done) message also carries the surviving worker list, so every
+// rank derives the identical reduction-tree membership for the merge.
+func encodeGo(done bool, extras, alive []int) []byte {
 	var w engine.Writer
 	if done {
 		w.Int(1)
@@ -226,17 +242,105 @@ func encodeGo(done bool, extras []int) []byte {
 	for _, pi := range extras {
 		w.Int(int64(pi))
 	}
+	w.Uint(uint64(len(alive)))
+	for _, a := range alive {
+		w.Int(int64(a))
+	}
 	return w.Bytes()
 }
 
-func decodeGo(data []byte) (done bool, extras []int, err error) {
+func decodeGo(data []byte) (done bool, extras, alive []int, err error) {
 	r := engine.NewReader(data)
 	done = r.Int() != 0
 	n := int(r.Uint())
 	for i := 0; i < n && r.Err() == nil; i++ {
 		extras = append(extras, int(r.Int()))
 	}
-	return done, extras, r.Err()
+	n = int(r.Uint())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		alive = append(alive, int(r.Int()))
+	}
+	return done, extras, alive, r.Err()
+}
+
+// treeMembers is the reduction-tree membership: the master plus every
+// live worker. The crash-aware tree protocol requires the membership to
+// cover all live ranks, which this is by construction.
+func treeMembers(alive []int) []int {
+	members := make([]int, 0, len(alive)+1)
+	members = append(members, 0)
+	return append(members, alive...)
+}
+
+// treeCombiner builds the TreeReduce combiner for batch metadata: decode
+// both bundles, merge per query with the master's exact selection rule,
+// and charge the merge cost on the COMBINING rank's clock — that
+// distribution of merge work off the master's critical path is the whole
+// point of the hierarchical merge. Decode failures land in *errp (the
+// combiner signature has no error path).
+func treeCombiner(r *mpi.Rank, maxTargets int, errp *error) func(a, b []byte) []byte {
+	return func(a, b []byte) []byte {
+		ba, err := decodeBatchMetas(a)
+		if err != nil {
+			*errp = err
+			return nil
+		}
+		bb, err := decodeBatchMetas(b)
+		if err != nil {
+			*errp = err
+			return nil
+		}
+		items := engine.MergeCost(ba.PerQuery, bb.PerQuery)
+		r.Advance(float64(items) * r.Cost().MergeItemCost)
+		merged := engine.CombineQueryMetas(ba.PerQuery, bb.PerQuery, maxTargets)
+		kept := 0
+		for _, qm := range merged {
+			kept += len(qm.Hits)
+		}
+		engine.RecordMerge(r.Metrics(), r.ID(), items, kept)
+		out := batchMetas{FirstQuery: ba.FirstQuery, PerQuery: merged}
+		return out.encode()
+	}
+}
+
+// encodeSelectionBundle packs every worker's output selection into the one
+// payload the layout broadcast carries down the tree. ok=false is the
+// abort marker: a member crashed mid-merge and the batch cannot complete.
+func encodeSelectionBundle(ok bool, sel []selection, workers []int) []byte {
+	var w engine.Writer
+	if !ok {
+		w.Int(0)
+		return w.Bytes()
+	}
+	w.Int(1)
+	w.Uint(uint64(len(workers)))
+	for _, wk := range workers {
+		w.Int(int64(wk))
+		w.Blob(sel[wk].encode())
+	}
+	return w.Bytes()
+}
+
+// decodeSelectionBundle extracts this worker's selection from the layout
+// broadcast. ok=false reports the master's abort marker.
+func decodeSelectionBundle(data []byte, worker int) (sel selection, ok bool, err error) {
+	r := engine.NewReader(data)
+	if r.Int() == 0 {
+		return selection{}, false, r.Err()
+	}
+	n := int(r.Uint())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		wk := int(r.Int())
+		blob := r.Blob()
+		if wk == worker {
+			s, err := decodeSelection(blob)
+			return s, true, err
+		}
+	}
+	if r.Err() != nil {
+		return selection{}, false, r.Err()
+	}
+	return selection{}, true, fmt.Errorf("core: layout broadcast misses worker %d", worker)
 }
 
 func decodeSelection(data []byte) (selection, error) {
@@ -320,6 +424,13 @@ func RunConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 	if ftTimeout <= 0 {
 		ftTimeout = 250 * cfg.Cost.NetLatency
 	}
+	fanout := opts.MergeFanout
+	if fanout == 0 {
+		fanout = mpi.DefaultTreeFanout
+	}
+	if opts.TreeMerge && fanout < 2 {
+		return engine.RunResult{}, fmt.Errorf("core: merge fan-out %d < 2", opts.MergeFanout)
+	}
 	meta := jobMeta{
 		Queries:     engine.EncodeWireQueries(engine.PackQueries(job.Queries)),
 		Title:       db.Title,
@@ -337,6 +448,8 @@ func RunConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 		MemBudget:   opts.MemoryBudgetBytes,
 		FT:          ft,
 		FTTimeout:   ftTimeout,
+		Tree:        opts.TreeMerge,
+		TreeFanout:  fanout,
 	}
 	if meta.Prefetch < 0 {
 		meta.Prefetch = 0
@@ -560,17 +673,56 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, index
 				exchangeThreshold(r, nil, maxTargets) // participate, contribute nothing
 			}
 		}
+		// Collect the per-query metadata: either the flat per-worker
+		// streams (baseline) or one hierarchical tree reduction whose
+		// result is already the globally merged selection.
+		var treeMerged []engine.QueryMeta
 		perWorker := make([]batchMetas, workers+1)
-		for _, w := range alive {
-			data, err := recvWorker(w, tagResults)
+		if meta.Tree {
+			members := treeMembers(alive)
+			// The master contributes an identity bundle covering every
+			// query, so the fold always yields the full batch range.
+			id := batchMetas{FirstQuery: q0}
+			for q := q0; q < q1; q++ {
+				id.PerQuery = append(id.PerQuery, engine.QueryMeta{QueryIndex: q})
+			}
+			var combErr error
+			combined, contributors, err := r.TreeReduce(0, meta.TreeFanout, members, id.encode(), treeCombiner(r, maxTargets, &combErr))
 			if err != nil {
 				return err
 			}
-			bm, err := decodeBatchMetas(data)
+			if combErr != nil {
+				return combErr
+			}
+			r.SetPhase(simtime.PhaseOutput)
+			if len(contributors) != len(members) {
+				// A member crashed mid-merge: its cached blocks are gone
+				// and its hits are unrecoverable. Tell the survivors to
+				// stand down (the abort marker), then fail cleanly —
+				// matching the flat path's output-phase contract.
+				r.TreeBcast(0, meta.TreeFanout, members, encodeSelectionBundle(false, nil, nil))
+				return fmt.Errorf("core: worker crashed during the hierarchical merge; recovery only covers the search phase")
+			}
+			bm, err := decodeBatchMetas(combined)
 			if err != nil {
 				return err
 			}
-			perWorker[w] = bm
+			if len(bm.PerQuery) != q1-q0 {
+				return fmt.Errorf("core: tree merge returned %d queries, want %d", len(bm.PerQuery), q1-q0)
+			}
+			treeMerged = bm.PerQuery
+		} else {
+			for _, w := range alive {
+				data, err := recvWorker(w, tagResults)
+				if err != nil {
+					return err
+				}
+				bm, err := decodeBatchMetas(data)
+				if err != nil {
+					return err
+				}
+				perWorker[w] = bm
+			}
 		}
 
 		// Merge metadata and lay out the output file (§3.3, Figure 2).
@@ -579,16 +731,24 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, index
 		var masterData []byte
 		var view mpiio.View
 		for q := q0; q < q1; q++ {
-			var all []engine.HitMeta
+			var merged []engine.HitMeta
 			var work blast.WorkCounters
-			for _, w := range alive {
-				qm := perWorker[w].PerQuery[q-q0]
-				all = append(all, qm.Hits...)
-				work.Add(qm.Work)
+			if meta.Tree {
+				// The reduction already applied the global selection rule;
+				// the master only lays out the file.
+				merged = treeMerged[q-q0].Hits
+				work = treeMerged[q-q0].Work
+			} else {
+				var all []engine.HitMeta
+				for _, w := range alive {
+					qm := perWorker[w].PerQuery[q-q0]
+					all = append(all, qm.Hits...)
+					work.Add(qm.Work)
+				}
+				r.Advance(float64(len(all)) * r.Cost().MergeItemCost)
+				merged = engine.MergeHits(all, maxTargets)
+				engine.RecordMerge(r.Metrics(), r.ID(), len(all), len(merged))
 			}
-			r.Advance(float64(len(all)) * r.Cost().MergeItemCost)
-			merged := engine.MergeHits(all, maxTargets)
-			engine.RecordMerge(r.Metrics(), r.ID(), len(all), len(merged))
 
 			query := job.Queries[q]
 			header := blast.RenderHeader(job.Options.OutFormat, meta.Kind, query, dbInfo)
@@ -615,8 +775,14 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, index
 				mpiio.Segment{Offset: cur, Length: int64(len(footer))})
 			off = cur + int64(len(footer))
 		}
-		for _, w := range alive {
-			r.Send(w, tagSelect, sel[w].encode())
+		if meta.Tree {
+			// Layout broadcast down the tree (§3.3): one bundle holding
+			// every worker's selection instead of N point-to-point sends.
+			r.TreeBcast(0, meta.TreeFanout, treeMembers(alive), encodeSelectionBundle(true, sel, alive))
+		} else {
+			for _, w := range alive {
+				r.Send(w, tagSelect, sel[w].encode())
+			}
 		}
 		if err := out.SetView(view); err != nil {
 			return err
@@ -685,7 +851,7 @@ func syncWorkers(r *mpi.Rank, meta jobMeta, alive []int, partsOf [][]int, pendin
 		}
 		if len(pending) == 0 {
 			for _, w := range alive {
-				r.Send(w, tagGo, encodeGo(true, nil))
+				r.Send(w, tagGo, encodeGo(true, nil, alive))
 			}
 			return alive, nil
 		}
@@ -702,7 +868,7 @@ func syncWorkers(r *mpi.Rank, meta jobMeta, alive []int, partsOf [][]int, pendin
 		}
 		pending = nil
 		for _, w := range alive {
-			r.Send(w, tagGo, encodeGo(false, extra[w]))
+			r.Send(w, tagGo, encodeGo(false, extra[w], nil))
 		}
 	}
 }
@@ -918,12 +1084,19 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 	// Ready/go rendezvous (fault tolerance): report the search phase done,
 	// then either proceed to output or absorb partitions reclaimed from
 	// crashed peers and search them too.
+	// aliveWorkers is this worker's view of the surviving worker set —
+	// the tree-merge membership. Without fault tolerance nobody can die;
+	// with it, the final go message carries the master's survivor list.
+	aliveWorkers := make([]int, 0, workers)
+	for w := 1; w <= workers; w++ {
+		aliveWorkers = append(aliveWorkers, w)
+	}
 	if meta.FT {
 		for {
 			r.SetPhase(simtime.PhaseIdle)
 			r.Send(0, tagReady, nil)
 			data, _, _ := r.Recv(0, tagGo)
-			done, extras, err := decodeGo(data)
+			done, extras, alive, err := decodeGo(data)
 			if err != nil {
 				return err
 			}
@@ -934,6 +1107,7 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 				return err
 			}
 			if done {
+				aliveWorkers = alive
 				break
 			}
 		}
@@ -1002,13 +1176,41 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 			bm.PerQuery = append(bm.PerQuery, qm)
 		}
 		r.Metrics().Counter("engine.blocks_rendered", r.ID()).Add(int64(len(blocks)))
-		r.Send(0, tagResults, bm.encode())
+		var sel selection
+		if meta.Tree {
+			// Hierarchical merge: fold this worker's metadata into the
+			// k-ary reduction (pre-merging the group's bundles locally)
+			// and take the layout from the down-tree broadcast.
+			members := treeMembers(aliveWorkers)
+			var combErr error
+			if _, _, err := r.TreeReduce(0, meta.TreeFanout, members, bm.encode(), treeCombiner(r, maxTargets, &combErr)); err != nil {
+				return err
+			}
+			if combErr != nil {
+				return combErr
+			}
+			r.SetPhase(simtime.PhaseIdle)
+			layout := r.TreeBcast(0, meta.TreeFanout, members, nil)
+			s, ok, err := decodeSelectionBundle(layout, r.ID())
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("core: merge aborted: a peer crashed during the hierarchical merge")
+			}
+			sel = s
+			r.SetPhase(simtime.PhaseOutput)
+		} else {
+			r.Send(0, tagResults, bm.encode())
 
-		// Selection: assemble the chosen blocks in offset order and write.
-		data, _, _ := r.Recv(0, tagSelect)
-		sel, err := decodeSelection(data)
-		if err != nil {
-			return err
+			// Selection: assemble the chosen blocks in offset order and
+			// write.
+			data, _, _ := r.Recv(0, tagSelect)
+			s, err := decodeSelection(data)
+			if err != nil {
+				return err
+			}
+			sel = s
 		}
 		idx := make([]int, len(sel.OIDs))
 		for i := range idx {

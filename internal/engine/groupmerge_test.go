@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"parblast/internal/blast"
+)
+
+// randomWorkerMetas synthesizes one worker's per-query metadata. OIDs are
+// globally unique per worker (worker*10000 + n), matching the engines'
+// database-partition invariant that no subject appears on two workers.
+func randomWorkerMetas(rng *rand.Rand, worker, nQueries, maxHits int) []QueryMeta {
+	var out []QueryMeta
+	for q := 0; q < nQueries; q++ {
+		if rng.Intn(5) == 0 {
+			continue // worker has no results for this query at all
+		}
+		qm := QueryMeta{QueryIndex: q, Fragment: worker}
+		nh := rng.Intn(maxHits + 1) // may be zero hits
+		for h := 0; h < nh; h++ {
+			qm.Hits = append(qm.Hits, HitMeta{
+				OID:       worker*10000 + q*100 + h,
+				Worker:    worker,
+				ID:        fmt.Sprintf("gi|%d", worker*10000+h),
+				Defline:   fmt.Sprintf("synthetic subject %d/%d", worker, h),
+				SubjLen:   50 + rng.Intn(400),
+				Score:     rng.Intn(200),
+				BitScore:  rng.Float64() * 100,
+				EValue:    []float64{1e-30, 1e-12, 1e-5, 0.001, 0.5}[rng.Intn(5)],
+				NumHSPs:   1 + rng.Intn(3),
+				BlockSize: int64(100 + rng.Intn(900)),
+			})
+		}
+		qm.Work = blast.WorkCounters{SeedHits: rng.Int63n(1000), HSPsFound: int64(nh)}
+		out = append(out, qm)
+	}
+	return out
+}
+
+// flatMerge is the master's reference behavior: concatenate every
+// worker's hits per query in worker order, then one MergeHits pass.
+func flatMerge(workers [][]QueryMeta, maxTargets int) []QueryMeta {
+	byQuery := make(map[int]int)
+	var out []QueryMeta
+	for _, w := range workers {
+		for _, qm := range w {
+			i, seen := byQuery[qm.QueryIndex]
+			if !seen {
+				byQuery[qm.QueryIndex] = len(out)
+				out = append(out, QueryMeta{QueryIndex: qm.QueryIndex, Fragment: qm.Fragment})
+				i = len(out) - 1
+			} else if out[i].Fragment != qm.Fragment {
+				out[i].Fragment = -1
+			}
+			out[i].Hits = append(out[i].Hits, qm.Hits...)
+			out[i].Work.Add(qm.Work)
+		}
+	}
+	for i := range out {
+		out[i].Hits = MergeHits(out[i].Hits, maxTargets)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].QueryIndex < out[j].QueryIndex })
+	return out
+}
+
+// treeMerge groups the workers into chains of `fanout` and pre-merges
+// each group with CombineQueryMetas before the final combine — the same
+// shape the k-ary reduction tree produces.
+func treeMerge(workers [][]QueryMeta, fanout, maxTargets int) []QueryMeta {
+	if len(workers) == 0 {
+		return nil
+	}
+	if len(workers) == 1 {
+		// Single-worker group: one pre-merge pass against the identity.
+		return CombineQueryMetas(workers[0], nil, maxTargets)
+	}
+	var groups [][]QueryMeta
+	for start := 0; start < len(workers); start += fanout {
+		end := start + fanout
+		if end > len(workers) {
+			end = len(workers)
+		}
+		group := workers[start]
+		for _, w := range workers[start+1 : end] {
+			group = CombineQueryMetas(group, w, maxTargets)
+		}
+		groups = append(groups, group)
+	}
+	return treeMerge(groups, fanout, maxTargets)
+}
+
+// TestGroupMergeMatchesFlatMerge is the property test: for randomized
+// seeded result sets, hierarchical group pre-merging is byte-identical to
+// the flat master merge at every fan-out and worker count, including the
+// empty-group and single-worker-group edges.
+func TestGroupMergeMatchesFlatMerge(t *testing.T) {
+	const maxTargets = 10
+	for workers := 1; workers <= 33; workers++ {
+		rng := rand.New(rand.NewSource(int64(1000 + workers)))
+		sets := make([][]QueryMeta, workers)
+		for w := range sets {
+			sets[w] = randomWorkerMetas(rng, w, 6, 25)
+		}
+		flat := flatMerge(sets, maxTargets)
+		flatBytes := EncodeQueryMetas(flat)
+		for _, fanout := range []int{2, 3, 8} {
+			tree := treeMerge(sets, fanout, maxTargets)
+			if !bytes.Equal(EncodeQueryMetas(tree), flatBytes) {
+				t.Fatalf("workers=%d fanout=%d: hierarchical merge differs from flat merge", workers, fanout)
+			}
+		}
+		// Empty groups are identities: folding a vacant slot in anywhere
+		// must not perturb the selection.
+		withEmpty := CombineQueryMetas(nil, flat, maxTargets)
+		withEmpty = CombineQueryMetas(withEmpty, nil, maxTargets)
+		if !bytes.Equal(EncodeQueryMetas(withEmpty), flatBytes) {
+			t.Fatalf("workers=%d: empty-group combine changed the result", workers)
+		}
+	}
+}
+
+// TestCombineQueryMetasAssociative spot-checks the algebraic property the
+// tree relies on: (a·b)·c == a·(b·c) for the capped combine.
+func TestCombineQueryMetasAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := randomWorkerMetas(rng, 0, 4, 15)
+	b := randomWorkerMetas(rng, 1, 4, 15)
+	c := randomWorkerMetas(rng, 2, 4, 15)
+	const maxTargets = 7
+	left := CombineQueryMetas(CombineQueryMetas(a, b, maxTargets), c, maxTargets)
+	right := CombineQueryMetas(a, CombineQueryMetas(b, c, maxTargets), maxTargets)
+	if !bytes.Equal(EncodeQueryMetas(left), EncodeQueryMetas(right)) {
+		t.Fatal("CombineQueryMetas is not associative under capping")
+	}
+	swapped := CombineQueryMetas(b, a, maxTargets)
+	forward := CombineQueryMetas(a, b, maxTargets)
+	if !bytes.Equal(EncodeQueryMetas(swapped), EncodeQueryMetas(forward)) {
+		t.Fatal("CombineQueryMetas is not commutative")
+	}
+}
+
+func TestEncodeDecodeQueryMetasRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := randomWorkerMetas(rng, 3, 5, 10)
+	out, err := DecodeQueryMetas(EncodeQueryMetas(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(EncodeQueryMetas(out), EncodeQueryMetas(in)) {
+		t.Fatal("round trip changed the payload")
+	}
+}

@@ -181,6 +181,10 @@ type Rank struct {
 	world        *World
 	clock        *simtime.Clock
 	degradeFired bool // OnFault for this rank's degrade already reported
+	// treeRound numbers this rank's tree-collective invocations per op tag,
+	// so the crash-aware protocol can drop stale retransmissions from
+	// earlier rounds. Only touched by the rank's own goroutine.
+	treeRound map[int]int64
 }
 
 type abortPanic struct{ msg string }
@@ -222,11 +226,20 @@ type Config struct {
 // trade.
 const ShuffleTagBase = 1 << 20
 
+// CollTagBase opens a third tag region, below the shuffle space, for the
+// point-to-point messages that implement TREE collectives (TreeReduce,
+// TreeGather, tree Bcast). Their bytes are collective-operation traffic —
+// synchronization and aggregation, not merging protocol — so CommStats
+// books them in the collective bucket even though they travel as ordinary
+// sends.
+const CollTagBase = 1 << 19
+
 // CommStats tallies communication per rank, split into protocol traffic,
 // collective-I/O shuffle traffic, and collective-operation payloads
-// (Barrier/Bcast/Gather/AllGather contributions). The split keeps the
-// paper's §3.2 protocol-volume metric clean: collective synchronization is
-// neither merging protocol nor shuffle data. Safe for concurrent use.
+// (Barrier/Bcast/Gather/AllGather contributions, plus the point-to-point
+// hops of the tree collectives). The split keeps the paper's §3.2
+// protocol-volume metric clean: collective synchronization is neither
+// merging protocol nor shuffle data. Safe for concurrent use.
 type CommStats struct {
 	mu         sync.Mutex
 	protocol   []int64
@@ -251,9 +264,12 @@ func (c *CommStats) add(rank, tag int, bytes int64) {
 	}
 	c.mu.Lock()
 	if rank < len(c.protocol) {
-		if tag >= ShuffleTagBase {
+		switch {
+		case tag >= ShuffleTagBase:
 			c.shuffle[rank] += bytes
-		} else {
+		case tag >= CollTagBase:
+			c.collective[rank] += bytes
+		default:
 			c.protocol[rank] += bytes
 		}
 		c.messages[rank]++
@@ -728,10 +744,14 @@ func (r *Rank) Metrics() *metrics.Registry { return r.world.config.Metrics }
 // tagSeries maps a message tag to its metric series stem. Protocol tags
 // are small engine constants and keep their number; the collective-I/O
 // shuffle space collapses into one series (internal/mpiio does its own
-// finer accounting).
+// finer accounting), and the tree-collective space into another (the tree
+// code books per-level series itself).
 func tagSeries(tag int) string {
 	if tag >= ShuffleTagBase {
 		return "mpi.send.shuffle"
+	}
+	if tag >= CollTagBase {
+		return "mpi.send.collective"
 	}
 	return fmt.Sprintf("mpi.send.tag%02d", tag)
 }
@@ -1025,6 +1045,10 @@ func (r *Rank) runCollective(op string, data []byte, release func(datas [][]byte
 	w.config.Comm.addCollective(r.id, int64(len(data)))
 	if reg := w.config.Metrics; reg != nil {
 		reg.Counter("mpi.collective."+op, r.id).Inc()
+		// Per-op byte series alongside the undifferentiated total, so
+		// experiments can attribute collective volume to gather vs bcast
+		// vs reduce individually.
+		reg.Counter("mpi.collective."+op+".bytes", r.id).Add(int64(len(data)))
 		reg.Counter("mpi.collective.bytes", r.id).Add(int64(len(data)))
 	}
 	w.mu.Lock()
@@ -1110,10 +1134,38 @@ func (r *Rank) AllGather(data []byte) [][]byte {
 
 // ReduceMax computes the element-wise maximum of per-rank int64 vectors at
 // every rank (a convenience for threshold broadcasting in the engines).
+//
+// Fault-free worlds run it as a k-ary TreeReduce to rank 0 followed by a
+// Bcast — O(N) payloads on the wire instead of the O(N²) an AllGather
+// moves. Worlds with scheduled faults keep the AllGather formulation: the
+// flat collective completes over the survivors (crashed ranks contribute
+// nothing), which is the crash semantics callers rely on.
 func (r *Rank) ReduceMax(values []int64) []int64 {
 	buf := make([]byte, 8*len(values))
 	for i, v := range values {
 		putInt64(buf[8*i:], v)
+	}
+	if !r.FaultsScheduled() {
+		members := make([]int, r.Size())
+		for i := range members {
+			members[i] = i
+		}
+		combined, _, err := r.TreeReduce(0, DefaultTreeFanout, members, buf, maxCombine)
+		if err != nil {
+			panic("mpi: ReduceMax tree reduce failed: " + err.Error())
+		}
+		if r.id != 0 {
+			combined = nil
+		}
+		buf = r.Bcast(0, combined)
+		out := make([]int64, len(values))
+		if len(buf) != 8*len(values) {
+			panic("mpi: ReduceMax length mismatch across ranks")
+		}
+		for i := range out {
+			out[i] = getInt64(buf[8*i:])
+		}
+		return out
 	}
 	datas := r.AllGather(buf)
 	out := make([]int64, len(values))
@@ -1132,6 +1184,23 @@ func (r *Rank) ReduceMax(values []int64) []int64 {
 			}
 		}
 		first = false
+	}
+	return out
+}
+
+// maxCombine is the element-wise int64 maximum over two equal-length
+// encoded vectors — the associative combiner ReduceMax feeds TreeReduce.
+func maxCombine(a, b []byte) []byte {
+	if len(a) != len(b) {
+		panic("mpi: ReduceMax length mismatch across ranks")
+	}
+	out := make([]byte, len(a))
+	for i := 0; i+8 <= len(a); i += 8 {
+		va, vb := getInt64(a[i:]), getInt64(b[i:])
+		if vb > va {
+			va = vb
+		}
+		putInt64(out[i:], va)
 	}
 	return out
 }

@@ -53,6 +53,10 @@ type jobMeta struct {
 	NumSeqs   int
 	TotalLen  int64
 	FragBases []string
+	// Tree selects the hierarchical tree merge; TreeFanout is the k-ary
+	// reduction fan-out.
+	Tree       bool
+	TreeFanout int
 }
 
 type fetchKey struct {
@@ -149,6 +153,15 @@ type Options struct {
 	// virtual seconds (0 = 250 × NetLatency). Only used when the MPI config
 	// schedules faults.
 	FaultTimeout float64
+	// TreeMerge replaces the per-(query, fragment) result streams through
+	// the master with the hierarchical tree merge: workers hold results
+	// locally, pre-merge to the per-query top-k, and fold one bundle per
+	// member up a k-ary reduction tree. The serial per-hit fetch stays —
+	// this fixes the merge serialization, not the fetch round trips.
+	TreeMerge bool
+	// MergeFanout is the reduction-tree fan-out for TreeMerge
+	// (0 = mpi.DefaultTreeFanout).
+	MergeFanout int
 }
 
 // Run executes the baseline engine on nprocs ranks (rank 0 is the master;
@@ -196,13 +209,22 @@ func runConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 		}
 	}
 
+	fanout := opts.MergeFanout
+	if fanout == 0 {
+		fanout = mpi.DefaultTreeFanout
+	}
+	if opts.TreeMerge && fanout < 2 {
+		return engine.RunResult{}, fmt.Errorf("mpiblast: merge fan-out %d < 2", opts.MergeFanout)
+	}
 	meta := jobMeta{
-		Queries:   engine.EncodeWireQueries(engine.PackQueries(job.Queries)),
-		Title:     db.Title,
-		Kind:      db.Kind,
-		NumSeqs:   db.NumSeqs,
-		TotalLen:  db.TotalResidues,
-		FragBases: fragBases,
+		Queries:    engine.EncodeWireQueries(engine.PackQueries(job.Queries)),
+		Title:      db.Title,
+		Kind:       db.Kind,
+		NumSeqs:    db.NumSeqs,
+		TotalLen:   db.TotalResidues,
+		FragBases:  fragBases,
+		Tree:       opts.TreeMerge,
+		TreeFanout: fanout,
 	}
 	// Failure recovery only covers workers: the master holds the merged
 	// results and the failure detector itself.
@@ -222,7 +244,13 @@ func runConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 	}
 	clocks, err := mpi.RunConfig(nprocs, cfg, func(r *mpi.Rank) error {
 		if r.ID() == 0 {
+			if meta.Tree {
+				return runMasterTree(r, nodes[0], job, meta, opts, ft, ftTimeout)
+			}
 			return runMaster(r, nodes[0], job, meta, opts, ft, ftTimeout)
+		}
+		if meta.Tree {
+			return runWorkerTree(r, nodes[r.ID()], job.Options)
 		}
 		return runWorker(r, nodes[r.ID()], job.Options)
 	})

@@ -57,6 +57,9 @@ type (
 	// PioOptions selects pioBLAST variants (early pruning, independent
 	// output) for ablations.
 	PioOptions = core.Options
+	// MpiOptions selects mpiBLAST-baseline variants (hierarchical tree
+	// merge) for ablations.
+	MpiOptions = mpiblast.Options
 	// DB describes a formatted database.
 	DB = formatdb.DB
 	// TraceCollector records per-rank phase timelines (see Cluster.Trace).
@@ -291,6 +294,8 @@ type Search struct {
 	Fragments int
 	// Pio selects pioBLAST variants; ignored by other engines.
 	Pio PioOptions
+	// Mpi selects mpiBLAST-baseline variants; ignored by other engines.
+	Mpi MpiOptions
 	// Faults schedules deterministic rank failures (crashes, degrades).
 	// Scheduling any fault arms the engines' failure-recovery protocols;
 	// fault firings land on the trace timeline as events.
@@ -338,7 +343,7 @@ func (c *Cluster) Run(eng Engine, s Search) (Result, error) {
 		}
 		return Result{OutputBytes: out}, nil
 	case EngineMPIBlast:
-		return mpiblast.RunConfig(c.nodes, c.procs, cfg, job)
+		return mpiblast.RunOpts(c.nodes, c.procs, cfg, job, s.Mpi)
 	case EnginePioBLAST:
 		return core.RunConfig(c.nodes, c.procs, cfg, job, s.Pio)
 	default:

@@ -1,0 +1,82 @@
+// Command benchdiff is the perf-regression gate for the kernel-benchmark
+// trajectory: it compares a new BENCH_N.json against its predecessor and
+// fails when an allocation count regressed. Allocations per op are exact
+// and machine-independent (unlike ns/op, which the gate deliberately
+// ignores — CI machines vary), so any increase is a real regression
+// introduced by code, not noise.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_1.json -new BENCH_2.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"parblast/internal/blast"
+)
+
+type benchDoc struct {
+	Suite   string                    `json:"suite"`
+	Results []blast.KernelBenchResult `json:"results"`
+}
+
+func load(path string) (benchDoc, error) {
+	var doc benchDoc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Results) == 0 {
+		return doc, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return doc, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "predecessor benchmark JSON")
+	newPath := flag.String("new", "", "new benchmark JSON")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	oldDoc, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	newDoc, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	oldBy := make(map[string]blast.KernelBenchResult, len(oldDoc.Results))
+	for _, r := range oldDoc.Results {
+		oldBy[r.Name] = r
+	}
+	failed := false
+	for _, nr := range newDoc.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Printf("%-24s new benchmark (%d allocs/op), no baseline\n", nr.Name, nr.AllocsPerOp)
+			continue
+		}
+		verdict := "ok"
+		if nr.AllocsPerOp > or.AllocsPerOp {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-24s allocs/op %6d -> %6d  %s\n", nr.Name, or.AllocsPerOp, nr.AllocsPerOp, verdict)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: allocs/op regressed vs %s\n", *oldPath)
+		os.Exit(1)
+	}
+}

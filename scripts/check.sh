@@ -47,3 +47,11 @@ go run ./scripts/validatereport -run "$tmp/run.json" -trace "$tmp/trace.json"
 # Read-path smoke: the collective-read / prefetch experiment row must run
 # end to end on a scaled-down workload.
 go run ./cmd/benchsuite -exp readpath -dbseqs 120 -querybytes 1500 >/dev/null
+
+# Merge-scalability smoke: the flat-vs-tree merge sweep must run end to end
+# at small rank counts with byte-identical layouts across every fan-out.
+go run ./cmd/benchsuite -exp mergescale -mergescale-ranks 8,16 >/dev/null
+
+# Perf-trajectory guard: the newest checked-in kernel benchmark record must
+# not regress allocation counts against its predecessor.
+go run ./scripts/benchdiff -old BENCH_1.json -new BENCH_2.json
