@@ -114,6 +114,24 @@ func faultSuiteRows(rows []experiments.FaultRow) []report.SuiteRow {
 
 const faultsTitle = "Fault tolerance: worker crash at mid-search + transient I/O errors"
 const mergeScaleTitle = "Merge scalability: flat master-ingest vs hierarchical tree merge"
+const ioTuneTitle = "I/O auto-tuning: learned hints vs fixed heuristics"
+
+// ioTuneSuiteRows flattens tuned-vs-fixed cells into the suite artifact's
+// row shape: the tuned wall per (profile, pattern) cell, labelled with the
+// learned strategy.
+func ioTuneSuiteRows(rows []experiments.IOTuneRow) []report.SuiteRow {
+	out := make([]report.SuiteRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, report.SuiteRow{
+			Label:  fmt.Sprintf("%s/%s %s", r.Profile, r.Pattern, r.Strategy),
+			Engine: "iotune",
+			Summary: report.RunSummary{
+				Wall: r.TunedS,
+			},
+		})
+	}
+	return out
+}
 
 // mergeScaleSuiteRows flattens merge-scalability rows into the suite
 // artifact's row shape: one row per (ranks, fanout) cell, phase-free.
@@ -154,7 +172,8 @@ func parseRankList(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig1a, fig1b, table1, table2, fig3a, fig3b, fig4, ablations, readpath, hetero, faults, mergescale")
+	exp := flag.String("exp", "all", "experiment to run: all, fig1a, fig1b, table1, table2, fig3a, fig3b, fig4, ablations, readpath, hetero, faults, mergescale, iotune")
+	hintsOut := flag.String("hints-out", "", "with -exp iotune (or all): write the learned-hints artifact to this path")
 	dbSeqs := flag.Int("dbseqs", 0, "override database sequence count")
 	family := flag.Int("family", 0, "override family size (database redundancy)")
 	queryBytes := flag.Int("querybytes", 0, "override the default ('150 KB'-equivalent) query set volume")
@@ -199,6 +218,32 @@ func main() {
 	}
 
 	suite := report.NewSuite(*exp)
+	// runIOTune runs the tuned-vs-fixed study, records its suite rows, and
+	// optionally persists the learned-hints artifact. IOTune enforces the
+	// regression gate itself (tuned ≤ fixed everywhere, strict win
+	// somewhere, byte-identity always); rows print even when it trips so
+	// the offending cell is visible.
+	runIOTune := func() error {
+		rows, artifact, err := experiments.IOTune(&lab)
+		experiments.PrintIOTuneRows(os.Stdout, rows)
+		if err != nil {
+			return err
+		}
+		suite.Experiments = append(suite.Experiments, report.Experiment{
+			Name: "iotune", Title: ioTuneTitle, Rows: ioTuneSuiteRows(rows),
+		})
+		if *hintsOut != "" {
+			data, err := artifact.Encode()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*hintsOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("learned I/O hints: %d keys → %s\n", len(artifact.Entries), *hintsOut)
+		}
+		return nil
+	}
 	switch *exp {
 	case "all":
 		for _, spec := range experiments.Specs() {
@@ -232,6 +277,16 @@ func main() {
 		suite.Experiments = append(suite.Experiments, report.Experiment{
 			Name: "mergescale", Title: mergeScaleTitle, Rows: mergeScaleSuiteRows(msRows),
 		})
+		if err := runIOTune(); err != nil {
+			fail(fmt.Errorf("iotune: %w", err))
+		}
+	case "iotune":
+		// Like faults and mergescale, iotune has its own row shape (fixed
+		// vs tuned walls, learned decisions), so it bypasses the generic
+		// printer.
+		if err := runIOTune(); err != nil {
+			fail(err)
+		}
 	case "mergescale":
 		// Like faults, mergescale has its own row shape (master-clock merge
 		// spans, not phase breakdowns), so it bypasses the generic printer.

@@ -47,6 +47,9 @@ func main() {
 	memBudget := flag.Int64("membudget", 0, "pioBLAST: adaptive batching memory budget in bytes (§5)")
 	searchThreads := flag.Int("search-threads", 0, "intra-rank search worker goroutines (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	timeline := flag.Bool("timeline", false, "print a per-rank phase timeline after the run")
+	ioStrategy := flag.String("io-strategy", "", "pioBLAST: collective-read strategy: two-phase, list-io, or independent (default two-phase)")
+	ioHints := flag.String("io-hints", "", "pioBLAST: load a learned-hints artifact (from -io-tune) and exploit it")
+	ioTune := flag.String("io-tune", "", "pioBLAST: run with the I/O auto-tuner and write the learned-hints artifact to this path")
 	crash := flag.String("crash", "", "inject a worker crash as RANK@TIME (e.g. 3@0.2); arms failure recovery")
 	reportPath := flag.String("report", "", "write a machine-readable JSON run report to this path")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable) to this path")
@@ -149,6 +152,25 @@ func main() {
 			fail(err)
 		}
 	}
+	strategy, err := parblast.ParseIOStrategy(*ioStrategy)
+	if err != nil {
+		fail(err)
+	}
+	// -io-hints loads a learned artifact to exploit; -io-tune attaches a
+	// (possibly pre-seeded) tuner and persists what it learned after the
+	// run. Both may be given: known keys exploit, new keys explore.
+	var tuner *parblast.IOTuner
+	if *ioHints != "" {
+		data, err := os.ReadFile(*ioHints)
+		if err != nil {
+			fail(err)
+		}
+		if tuner, err = parblast.LoadIOTuner(data); err != nil {
+			fail(err)
+		}
+	} else if *ioTune != "" {
+		tuner = parblast.NewIOTuner()
+	}
 	search := parblast.Search{
 		DB:        db,
 		Queries:   queries,
@@ -164,6 +186,8 @@ func main() {
 			MemoryBudgetBytes: *memBudget,
 			TreeMerge:         *treeMerge,
 			MergeFanout:       *mergeFanout,
+			IOHints:           parblast.IOHints{ReadStrategy: strategy},
+			IOTuner:           tuner,
 		},
 		Mpi: parblast.MpiOptions{
 			TreeMerge:   *treeMerge,
@@ -213,6 +237,17 @@ func main() {
 		fmt.Printf("total=%.2fs  search share=%.1f%%\n", res.Wall, res.SearchFraction()*100)
 	}
 	fmt.Printf("report: %d bytes → %s\n", len(report), *outPath)
+	if *ioTune != "" {
+		artifact := tuner.Finalize()
+		data, err := artifact.Encode()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*ioTune, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("learned I/O hints: %d keys → %s\n", len(artifact.Entries), *ioTune)
+	}
 	if *reportPath != "" {
 		info := runreport.RunInfo{
 			Engine:     eng.String(),

@@ -132,6 +132,17 @@ type Options struct {
 	// MergeFanout is the reduction-tree fan-out for TreeMerge
 	// (0 = mpi.DefaultTreeFanout).
 	MergeFanout int
+	// IOHints carries MPI-IO hints applied to every shared-file handle
+	// the run opens (database volumes and the output file): aggregator
+	// count, collective buffer size, sieve gap, and read strategy. The
+	// zero value reproduces the layer's built-in heuristics.
+	IOHints mpiio.Hints
+	// IOTuner, when non-nil, attaches the shared I/O auto-tuner to every
+	// input-file handle: collective reads consult it for the strategy/gap
+	// decision and feed their measured virtual cost back. The tuner is an
+	// in-process object shared by all ranks (like the file system itself),
+	// so it rides alongside the job rather than through the broadcast.
+	IOTuner *mpiio.Tuner
 }
 
 // wireExtent ships one virtual-fragment extent to a worker: the ordinal
@@ -179,6 +190,8 @@ type jobMeta struct {
 	// reduction tree with the given fan-out.
 	Tree       bool
 	TreeFanout int
+	// IOHints is applied to every shared-file handle a rank opens.
+	IOHints mpiio.Hints
 }
 
 // batchMetas is one worker's result metadata for a batch of queries.
@@ -376,6 +389,9 @@ func RunConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 	if opts.QueryBatch < 0 {
 		return engine.RunResult{}, fmt.Errorf("core: negative query batch %d", opts.QueryBatch)
 	}
+	if err := opts.IOHints.Validate(); err != nil {
+		return engine.RunResult{}, err
+	}
 	shared := nodes[0].Shared
 	db, err := formatdb.Open(shared, job.DBBase)
 	if err != nil {
@@ -450,6 +466,7 @@ func RunConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 		FTTimeout:   ftTimeout,
 		Tree:        opts.TreeMerge,
 		TreeFanout:  fanout,
+		IOHints:     opts.IOHints,
 	}
 	if meta.Prefetch < 0 {
 		meta.Prefetch = 0
@@ -467,9 +484,9 @@ func RunConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 	}
 	clocks, err := mpi.RunConfig(nprocs, cfg, func(r *mpi.Rank) error {
 		if r.ID() == 0 {
-			return runMaster(r, nodes[0], job, meta, indexBytes)
+			return runMaster(r, nodes[0], job, meta, indexBytes, opts.IOTuner)
 		}
-		return runWorker(r, nodes[r.ID()], job.Options)
+		return runWorker(r, nodes[r.ID()], job.Options, opts.IOTuner)
 	})
 	if err != nil {
 		return engine.RunResult{}, err
@@ -537,7 +554,7 @@ func exchangeVolumes(r *mpi.Rank, local []int64) []int64 {
 	return total
 }
 
-func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, indexBytes int64) error {
+func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, indexBytes int64, tuner *mpiio.Tuner) error {
 	r.SetPhase(simtime.PhaseOther)
 	r.Advance(r.Cost().SetupCost)
 	r.SetPhase(simtime.PhaseInput)
@@ -615,7 +632,7 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, index
 			// an aggregator domain here, turning otherwise idle time into
 			// useful sequential I/O.
 			r.SetPhase(simtime.PhaseInput)
-			if _, err := readPartsCollective(r, newFileCache(r, node.Shared), meta, nil); err != nil {
+			if _, err := readPartsCollective(r, newFileCache(r, node.Shared, meta.IOHints, tuner), meta, nil); err != nil {
 				return err
 			}
 			r.SetPhase(simtime.PhaseIdle)
@@ -636,6 +653,9 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, index
 	}
 	maxTargets := searcher.Options().MaxTargetSeqs
 	out := mpiio.OpenOrCreate(r, node.Shared, job.OutputPath)
+	if err := out.SetHints(meta.IOHints); err != nil {
+		return err
+	}
 	dbInfo := blast.DBInfo{Title: meta.Title, NumSeqs: meta.NumSeqs, TotalLen: meta.TotalLen}
 
 	// recvWorker receives from one worker; under fault tolerance a crash
@@ -882,7 +902,7 @@ type workerState struct {
 	work  []blast.WorkCounters
 }
 
-func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
+func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options, tuner *mpiio.Tuner) error {
 	r.SetPhase(simtime.PhaseOther)
 	r.Advance(r.Cost().SetupCost)
 	var meta jobMeta
@@ -911,7 +931,7 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 	// them. Static mode reads a fixed set ("the input stage") — optionally
 	// with collective reads or an async prefetch pipeline; dynamic mode
 	// interleaves greedy assignment, reading, and searching.
-	files := newFileCache(r, node.Shared)
+	files := newFileCache(r, node.Shared, meta.IOHints, tuner)
 	searchFrag := func(frag *blast.Fragment) error {
 		base := len(st.frag.Subjects)
 		st.frag.Subjects = append(st.frag.Subjects, frag.Subjects...)
@@ -1115,6 +1135,9 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options) error {
 
 	// Phase 2: per-batch merge and parallel output.
 	outFile := mpiio.OpenOrCreate(r, node.Shared, meta.OutputPath)
+	if err := outFile.SetHints(meta.IOHints); err != nil {
+		return err
+	}
 	bounds := fixedBounds(len(queries), meta.QueryBatch)
 	if meta.MemBudget > 0 {
 		// Adaptive batching (§5): agree on batch boundaries sized to the
@@ -1278,13 +1301,15 @@ func fixedBounds(n, b int) []int {
 // handle reused for every extent of every partition, instead of three
 // fresh opens per extent.
 type fileCache struct {
-	r    *mpi.Rank
-	fs   *vfs.FS
-	open map[string]*mpiio.File
+	r     *mpi.Rank
+	fs    *vfs.FS
+	hints mpiio.Hints
+	tuner *mpiio.Tuner
+	open  map[string]*mpiio.File
 }
 
-func newFileCache(r *mpi.Rank, fs *vfs.FS) *fileCache {
-	return &fileCache{r: r, fs: fs, open: make(map[string]*mpiio.File)}
+func newFileCache(r *mpi.Rank, fs *vfs.FS, hints mpiio.Hints, tuner *mpiio.Tuner) *fileCache {
+	return &fileCache{r: r, fs: fs, hints: hints, tuner: tuner, open: make(map[string]*mpiio.File)}
 }
 
 func (c *fileCache) file(path string) (*mpiio.File, error) {
@@ -1295,6 +1320,10 @@ func (c *fileCache) file(path string) (*mpiio.File, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := f.SetHints(c.hints); err != nil {
+		return nil, err
+	}
+	f.SetTuner(c.tuner)
 	c.open[path] = f
 	return f, nil
 }

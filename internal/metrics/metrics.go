@@ -122,6 +122,13 @@ func SizeBuckets() []float64 {
 	return []float64{256, 4096, 65536, 1 << 20, 4 << 20}
 }
 
+// TimeBuckets is the default virtual-seconds bucketing used by operation-
+// latency histograms (e.g. the I/O auto-tuner's per-collective cost):
+// 100 µs to 10 s in 10× steps.
+func TimeBuckets() []float64 {
+	return []float64{1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+}
+
 type key struct {
 	name string
 	rank int

@@ -9,13 +9,16 @@ import (
 	"sort"
 
 	"parblast/internal/mpi"
-	"parblast/internal/vfs"
 )
 
-// bound is one live participant's view extent, gathered in phase 0.
+// bound is one live participant's view summary, gathered in phase 0: the
+// extent plus the requested volume and segment count that feed the
+// access-pattern signature.
 type bound struct {
 	rank   int
 	lo, hi int64 // hi < 0 means an empty view
+	total  int64 // sum of segment lengths
+	segs   int64 // number of non-empty segments
 }
 
 // collPlan is the agreed outcome of a collective operation's bounds
@@ -30,14 +33,13 @@ type collPlan struct {
 	gLo, gHi int64
 }
 
-// planCollective runs phase 0+1 of the two-phase algorithm: exchange view
-// bounds, agree on participants, and choose aggregators — as many as the
-// file system sustains concurrently, at most the participant count.
-// Aggregator a is the a-th live participant (rank a when nobody crashed).
-// Crashed ranks contribute nil to the AllGather; everyone skips them
-// identically, so the survivors still agree on domains and messages.
+// planCollective runs phase 0 of the two-phase algorithm: exchange view
+// bounds and agree on participants. Crashed ranks contribute nil to the
+// AllGather; everyone skips them identically, so the survivors still
+// agree on domains and messages. chooseAggregators completes the plan
+// (phase 1) once the effective hints are known.
 func (f *File) planCollective() collPlan {
-	var lo, hi int64 = 1<<62 - 1, -1
+	var lo, hi, total, segs int64 = 1<<62 - 1, -1, 0, 0
 	for _, s := range f.view.Segments {
 		if s.Length == 0 {
 			continue
@@ -48,39 +50,94 @@ func (f *File) planCollective() collPlan {
 		if end := s.Offset + s.Length; end > hi {
 			hi = end
 		}
+		total += s.Length
+		segs++
 	}
-	bounds := make([]byte, 16)
+	bounds := make([]byte, 32)
 	putI64(bounds[0:], lo)
 	putI64(bounds[8:], hi)
+	putI64(bounds[16:], total)
+	putI64(bounds[24:], segs)
 	all := f.rank.AllGather(bounds)
 	p := collPlan{selfIdx: -1, gLo: 1<<62 - 1, gHi: -1}
 	for i, b := range all {
-		if len(b) < 16 {
+		if len(b) < 32 {
 			continue // crashed rank: no bounds
 		}
-		l, h := getI64(b[0:]), getI64(b[8:])
 		if i == f.rank.ID() {
 			p.selfIdx = len(p.parts)
 		}
-		p.parts = append(p.parts, bound{rank: i, lo: l, hi: h})
-		if h < 0 {
+		p.parts = append(p.parts, bound{
+			rank:  i,
+			lo:    getI64(b[0:]),
+			hi:    getI64(b[8:]),
+			total: getI64(b[16:]),
+			segs:  getI64(b[24:]),
+		})
+		h := p.parts[len(p.parts)-1]
+		if h.hi < 0 {
 			continue // that rank moves nothing
 		}
-		if l < p.gLo {
-			p.gLo = l
+		if h.lo < p.gLo {
+			p.gLo = h.lo
 		}
-		if h > p.gHi {
-			p.gHi = h
+		if h.hi > p.gHi {
+			p.gHi = h.hi
 		}
-	}
-	p.numAgg = f.fs.Profile().Channels
-	if p.numAgg > len(p.parts) {
-		p.numAgg = len(p.parts)
-	}
-	if p.numAgg < 1 {
-		p.numAgg = 1
 	}
 	return p
+}
+
+// chooseAggregators completes the plan: as many aggregators as the hints
+// allow (cb_nodes, defaulting to the file system's concurrent-channel
+// count), clamped to the live participant count AND to the aggregate
+// extent — an aggregator with an empty byte domain would pay shuffle
+// latency for nothing.
+func (p *collPlan) chooseAggregators(channels int, h Hints) {
+	n := h.CbNodes
+	if n <= 0 {
+		n = channels
+	}
+	if n > len(p.parts) {
+		n = len(p.parts)
+	}
+	if extent := p.gHi - p.gLo; extent > 0 && int64(n) > extent {
+		n = int(extent)
+	}
+	if n < 1 {
+		n = 1
+	}
+	p.numAgg = n
+}
+
+// signature classifies the collective's access pattern from the gathered
+// bounds — identically on every rank, since all inputs came out of the
+// same AllGather. The (fs profile, signature) pair is the auto-tuner's
+// learning key.
+//
+//	contig:  at most one non-empty segment per participant with data
+//	strided: multi-segment views covering at least half the extent
+//	holey:   multi-segment views requesting under half the extent
+func (p collPlan) signature() string {
+	var withData, segs, total int64
+	for _, b := range p.parts {
+		if b.hi < 0 {
+			continue
+		}
+		withData++
+		segs += b.segs
+		total += b.total
+	}
+	if withData == 0 {
+		return "empty"
+	}
+	if segs <= withData {
+		return "contig"
+	}
+	if extent := p.gHi - p.gLo; 2*total >= extent {
+		return "strided"
+	}
+	return "holey"
 }
 
 // empty reports that no participant has any data in its view.
@@ -203,6 +260,7 @@ func (f *File) WriteCollective(data []byte) error {
 	if plan.empty() {
 		return nil // nobody writes anything
 	}
+	plan.chooseAggregators(f.fs.Profile().Channels, f.hints)
 
 	// Phase 2: ship my data to each aggregator. Message layout:
 	// repeated records of (offset int64, length int64, bytes). splitView
@@ -278,15 +336,6 @@ func (f *File) WriteCollective(data []byte) error {
 	return nil
 }
 
-// sieveGap is the hole-skipping threshold for data sieving: two requested
-// extents closer than this are read through in one sequential access,
-// because transferring the hole costs less than a second operation's
-// latency (gap/bandwidth < latency). Derived from the file-system profile,
-// so it adapts to each platform deterministically.
-func sieveGap(p vfs.Profile) int64 {
-	return int64(p.Latency * p.Bandwidth)
-}
-
 // readReq is one participant's requested extent inside an aggregator's
 // domain.
 type readReq struct {
@@ -299,16 +348,28 @@ type readReq struct {
 // world must call it together; ranks with nothing to read pass an empty
 // view and receive nil.
 //
-// Algorithm (two-phase I/O, read side):
+// The strategy is chosen by the file's hints (default two-phase) or, when
+// a tuner is attached, by the tuner's per-(profile, access-pattern)
+// decision — every rank derives the identical decision from the shared
+// bounds exchange, so the message pattern still needs no coordination:
+//
+//   - two-phase (ROMIO default): aggregators issue large sieved
+//     sequential reads — holes smaller than the effective sieve gap are
+//     read through in one access, the skipped-hole bytes counted as
+//     mpiio.sieve_waste_bytes — and ship each requester its pieces;
+//   - list-io: the same shuffle, but aggregators issue one access per
+//     coalesced request run, so no hole byte is ever transferred (zero
+//     sieve waste, more operations);
+//   - independent: every rank reads its own segments directly — no
+//     shuffle traffic, full storage parallelism.
+//
+// Algorithm of the aggregated strategies (two-phase I/O, read side):
 //  1. ranks exchange view bounds to learn the aggregate extent;
 //  2. the extent is partitioned over A aggregator ranks;
 //  3. each rank ships its REQUESTS (offset/length records, no data) to
 //     the aggregators whose domains its extent overlaps;
-//  4. each aggregator coalesces the requests into sieved runs — holes
-//     smaller than the file system's latency×bandwidth product are read
-//     through in one sequential access, with the skipped-hole bytes
-//     counted as mpiio.sieve_waste_bytes — and ships each rank its
-//     pieces back;
+//  4. each aggregator coalesces the requests into runs (sieved or exact)
+//     and ships each rank its pieces back;
 //  5. ranks assemble the received pieces into view order.
 //
 // Unlike the write side, a read always has a recovery path: the source
@@ -327,6 +388,39 @@ func (f *File) ReadCollective() ([]byte, error) {
 	if plan.selfIdx < 0 {
 		return nil, fmt.Errorf("mpiio: calling rank missing from collective plan")
 	}
+
+	h := f.hints
+	var obs *tunerObs
+	if f.tuner != nil {
+		h, obs = f.tuner.decide(r, f.fs.Profile(), plan.signature(), f.hints)
+	}
+	plan.chooseAggregators(f.fs.Profile().Channels, h)
+	reg.Counter("mpiio.strategy."+h.ReadStrategy.slug(), r.ID()).Inc()
+
+	var out []byte
+	var err error
+	if h.ReadStrategy == StrategyIndependent {
+		// No aggregation: each rank reads its own segments (zero-length
+		// segments are skipped) and the collective completes at the
+		// crash-aware barrier like the other strategies.
+		out = f.ReadIndependent()
+		r.Barrier()
+	} else {
+		out, err = f.readAggregated(plan, h)
+	}
+	if err == nil && obs != nil {
+		f.tuner.observe(r, obs)
+	}
+	return out, err
+}
+
+// readAggregated is the shuffle-based read path shared by the two-phase
+// and list-I/O strategies; they differ only in how an aggregator turns
+// the gathered requests into storage accesses (sieved runs vs exact
+// coalesced runs).
+func (f *File) readAggregated(plan collPlan, h Hints) ([]byte, error) {
+	r := f.rank
+	reg := r.Metrics()
 	self := plan.parts[plan.selfIdx]
 
 	// Phase 2: ship request records (offset, length) to each overlapping
@@ -379,15 +473,28 @@ func (f *File) ReadCollective() ([]byte, error) {
 			}
 			return reqs[i].rank < reqs[j].rank
 		})
-		gap := sieveGap(f.fs.Profile())
+		// The strategies differ only in the hole threshold: two-phase
+		// sieves through holes strictly smaller than the effective gap;
+		// list-I/O (gap 0) merges only overlapping or abutting requests,
+		// so every run is exact and no hole byte is ever transferred.
+		var gap int64
+		if h.ReadStrategy == StrategyTwoPhase {
+			gap = h.EffectiveSieveGap(f.fs.Profile())
+		}
 		reply := make(map[int][]byte)
 		for i := 0; i < len(reqs); {
-			// Grow a sieved run: absorb requests whose holes are below
-			// the threshold.
+			// Grow a run: absorb overlapping/abutting requests (hole ≤ 0
+			// — always free) and, under two-phase, requests whose holes
+			// are strictly below the sieve threshold. A hole of exactly
+			// the gap starts a new run: transferring it costs no less
+			// than the operation latency it would save.
 			runStart := reqs[i].off
 			runEnd := runStart + reqs[i].n
 			j := i + 1
-			for j < len(reqs) && reqs[j].off <= runEnd+gap {
+			for j < len(reqs) {
+				if hole := reqs[j].off - runEnd; hole > 0 && hole >= gap {
+					break
+				}
 				if end := reqs[j].off + reqs[j].n; end > runEnd {
 					runEnd = end
 				}
@@ -398,6 +505,9 @@ func (f *File) ReadCollective() ([]byte, error) {
 			r.IO(f.fs, int64(got))
 			reg.Counter("mpiio.agg_reads", r.ID()).Inc()
 			reg.Counter("mpiio.agg_read_bytes", r.ID()).Add(int64(got))
+			if h.ReadStrategy == StrategyListIO {
+				reg.Counter("mpiio.listio_reads", r.ID()).Inc()
+			}
 			// Waste = hole bytes transferred but not requested by anyone.
 			covEnd := runStart
 			var waste int64

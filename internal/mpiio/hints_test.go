@@ -1,0 +1,155 @@
+package mpiio
+
+import (
+	"bytes"
+	"testing"
+
+	"parblast/internal/metrics"
+	"parblast/internal/mpi"
+	"parblast/internal/vfs"
+)
+
+func TestParseStrategyRoundTrip(t *testing.T) {
+	for _, s := range []Strategy{StrategyTwoPhase, StrategyListIO, StrategyIndependent} {
+		got, err := ParseStrategy(s.String())
+		if err != nil {
+			t.Fatalf("ParseStrategy(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("ParseStrategy(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+	if got, err := ParseStrategy(""); err != nil || got != StrategyTwoPhase {
+		t.Fatalf("empty strategy: got %v, %v; want two-phase default", got, err)
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Fatal("ParseStrategy accepted an unknown strategy")
+	}
+}
+
+func TestHintsValidate(t *testing.T) {
+	good := []Hints{
+		{},
+		{CbNodes: 3, CbBufferSize: 1 << 20, SieveGap: 4096, ReadStrategy: StrategyListIO},
+	}
+	for _, h := range good {
+		if err := h.Validate(); err != nil {
+			t.Fatalf("Validate(%+v): %v", h, err)
+		}
+	}
+	bad := []Hints{
+		{CbNodes: -1},
+		{CbBufferSize: -1},
+		{SieveGap: -1},
+		{ReadStrategy: Strategy(99)},
+	}
+	for _, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) accepted invalid hints", h)
+		}
+	}
+}
+
+// TestEffectiveSieveGapBoundaries pins the two fixed edge cases: the
+// latency×bandwidth product truncating to 0 on a near-zero-latency
+// profile (the gap must floor at 1 so abutting requests still coalesce),
+// and an unbounded product on a high-bandwidth profile (the gap must cap
+// at the collective buffer size).
+func TestEffectiveSieveGapBoundaries(t *testing.T) {
+	// 1ns × 100MB/s = 0.1 bytes → truncates to 0 → floored to 1.
+	tiny := vfs.Profile{Name: "tiny", Latency: 1e-9, Bandwidth: 100e6, Channels: 1}
+	if got := (Hints{}).EffectiveSieveGap(tiny); got != 1 {
+		t.Fatalf("near-zero-latency gap = %d, want floor 1", got)
+	}
+	// 10s × 100GB/s = 1TB → capped at the default 4MiB collective buffer.
+	huge := vfs.Profile{Name: "huge", Latency: 10, Bandwidth: 100e9, Channels: 1}
+	if got := (Hints{}).EffectiveSieveGap(huge); got != DefaultCbBufferSize {
+		t.Fatalf("high-bandwidth gap = %d, want cap %d", got, int64(DefaultCbBufferSize))
+	}
+	// An explicit cb_buffer_size hint moves the cap.
+	if got := (Hints{CbBufferSize: 1 << 16}).EffectiveSieveGap(huge); got != 1<<16 {
+		t.Fatalf("hinted-buffer gap = %d, want %d", got, 1<<16)
+	}
+	// An explicit sieve gap is honored but still floored and capped.
+	if got := (Hints{SieveGap: 4096}).EffectiveSieveGap(huge); got != 4096 {
+		t.Fatalf("explicit gap = %d, want 4096", got)
+	}
+	if got := (Hints{SieveGap: 1 << 30}).EffectiveSieveGap(tiny); got != DefaultCbBufferSize {
+		t.Fatalf("oversized explicit gap = %d, want cap %d", got, int64(DefaultCbBufferSize))
+	}
+	// The derived gap on a real profile is the seek-equivalent volume.
+	nfs := vfs.NFSLike()
+	if got, want := (Hints{}).EffectiveSieveGap(nfs), nfs.SeekEquivalentBytes(); got != want {
+		t.Fatalf("derived NFS gap = %d, want %d", got, want)
+	}
+}
+
+// TestChooseAggregatorsClamps pins the aggregator-provisioning fix: the
+// count never exceeds the live participants or the aggregate extent, and
+// the cb_nodes hint overrides the channel-count default.
+func TestChooseAggregatorsClamps(t *testing.T) {
+	mkPlan := func(parts int, lo, hi int64) *collPlan {
+		p := &collPlan{gLo: lo, gHi: hi}
+		for i := 0; i < parts; i++ {
+			p.parts = append(p.parts, bound{rank: i, lo: lo, hi: hi})
+		}
+		return p
+	}
+	cases := []struct {
+		name     string
+		parts    int
+		extent   int64
+		channels int
+		hints    Hints
+		want     int
+	}{
+		// The regression: 4 live participants on a 32-channel XFS-like
+		// file system must yield 4 aggregators, not 32.
+		{"participant clamp", 4, 1 << 20, vfs.XFSLike().Channels, Hints{}, 4},
+		{"channel default", 8, 1 << 20, 2, Hints{}, 2},
+		{"cb_nodes override", 8, 1 << 20, 32, Hints{CbNodes: 3}, 3},
+		{"cb_nodes clamped to participants", 2, 1 << 20, 32, Hints{CbNodes: 16}, 2},
+		// A 3-byte aggregate extent cannot keep 4 aggregators busy: an
+		// aggregator with an empty byte domain is pure overhead.
+		{"extent clamp", 4, 3, 32, Hints{}, 3},
+		{"floor at one", 1, 1, 1, Hints{}, 1},
+	}
+	for _, tc := range cases {
+		p := mkPlan(tc.parts, 0, tc.extent)
+		p.chooseAggregators(tc.channels, tc.hints)
+		if p.numAgg != tc.want {
+			t.Errorf("%s: numAgg = %d, want %d", tc.name, p.numAgg, tc.want)
+		}
+	}
+}
+
+// TestReadCollectiveAggregatorCount runs the 4-ranks-on-XFSLike
+// regression end to end: every rank requests data, and the number of
+// distinct ranks that issued aggregator reads must be 4 (the live
+// participants), not the profile's 32 channels.
+func TestReadCollectiveAggregatorCount(t *testing.T) {
+	n := 4
+	views, want, total := interleavedViews(n, 8*n, 64)
+	reg := metrics.NewRegistry()
+	got := runReaders(t, n, vfs.XFSLike(), total, mpi.Config{Cost: testCost(), Metrics: reg},
+		func(r *mpi.Rank, f *File) ([]byte, error) {
+			if err := f.SetView(views[r.ID()]); err != nil {
+				return nil, err
+			}
+			return f.ReadCollective()
+		})
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("rank %d mismatch", i)
+		}
+	}
+	aggs := make(map[int]bool)
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == "mpiio.agg_reads" && c.Value > 0 {
+			aggs[c.Rank] = true
+		}
+	}
+	if len(aggs) != n {
+		t.Fatalf("aggregator ranks = %d, want %d (clamped to live participants)", len(aggs), n)
+	}
+}

@@ -67,10 +67,12 @@ func ContiguousView(off, length int64) View {
 
 // File is a per-rank handle on a shared file.
 type File struct {
-	rank *mpi.Rank
-	fs   *vfs.FS
-	f    *vfs.File
-	view View
+	rank  *mpi.Rank
+	fs    *vfs.FS
+	f     *vfs.File
+	view  View
+	hints Hints
+	tuner *Tuner
 }
 
 // Open returns a handle on an existing file.
@@ -142,6 +144,9 @@ func (f *File) WriteIndependent(data []byte) error {
 	}
 	var pos int64
 	for _, s := range f.view.Segments {
+		if s.Length == 0 {
+			continue // a zero-length segment must not pay an operation's latency
+		}
 		f.WriteAt(data[pos:pos+s.Length], s.Offset)
 		pos += s.Length
 	}
@@ -154,6 +159,9 @@ func (f *File) WriteIndependent(data []byte) error {
 func (f *File) ReadIndependent() []byte {
 	out := make([]byte, 0, f.view.TotalLength())
 	for _, s := range f.view.Segments {
+		if s.Length == 0 {
+			continue // a zero-length segment must not pay an operation's latency
+		}
 		out = append(out, f.ReadAt(s.Offset, s.Length)...)
 	}
 	return out

@@ -1,0 +1,349 @@
+// The I/O auto-tuner: an online explorer of the hint space that picks a
+// read strategy + sieve gap per (file-system profile, access-pattern
+// signature) and persists what it learned as a versioned JSON artifact
+// reloadable on the next run — the ViPIOS-style "remember your I/O
+// decisions" precedent on top of the Thakur/Gropp/Lusk design space.
+//
+// Determinism contract: the tuner never reads a wall clock — costs are
+// virtual seconds from the rank's simtime clock — and never draws
+// randomness. Exploration rotates a fixed candidate list via per-(rank,
+// key) ordinals: every rank sees its collectives in the same global
+// order, so all ranks of a collective derive the identical decision
+// without exchanging a byte. Observations are merged with commutative,
+// associative folds (max cost, integer sums), so the learned artifact is
+// byte-identical across runs regardless of goroutine scheduling.
+package mpiio
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"parblast/internal/metrics"
+	"parblast/internal/mpi"
+	"parblast/internal/vfs"
+)
+
+// Learned-hints artifact identification (see internal/report for the
+// versioned-artifact convention).
+const (
+	HintsKind    = "parblast-io-hints"
+	HintsVersion = 1
+)
+
+// LearnedHint is one learned (profile, pattern) → hints mapping.
+type LearnedHint struct {
+	// Key is "<profile name>/<access-pattern signature>".
+	Key string `json:"key"`
+	// Strategy is the winning read strategy's CLI spelling.
+	Strategy string `json:"strategy"`
+	// SieveGap is the winning explicit sieve gap (0 = not applicable).
+	SieveGap int64 `json:"sieve_gap,omitempty"`
+	// CbNodes / CbBufferSize carry the base hints the winner was
+	// evaluated under (0 = derived from the profile).
+	CbNodes      int   `json:"cb_nodes,omitempty"`
+	CbBufferSize int64 `json:"cb_buffer_size,omitempty"`
+	// Observations counts the per-rank measurements behind the choice.
+	Observations int64 `json:"observations"`
+	// CostS is the winner's worst observed per-collective virtual cost.
+	CostS float64 `json:"cost_s"`
+	// SieveWasteBytes / AggReads summarize the winner's I/O behavior.
+	SieveWasteBytes int64 `json:"sieve_waste_bytes,omitempty"`
+	AggReads        int64 `json:"agg_reads,omitempty"`
+}
+
+// apply overlays the learned decision on a caller's base hints.
+func (e LearnedHint) apply(base Hints) Hints {
+	h := base
+	if strat, err := ParseStrategy(e.Strategy); err == nil {
+		h.ReadStrategy = strat
+	}
+	h.SieveGap = e.SieveGap
+	if e.CbNodes > 0 {
+		h.CbNodes = e.CbNodes
+	}
+	if e.CbBufferSize > 0 {
+		h.CbBufferSize = e.CbBufferSize
+	}
+	return h
+}
+
+// HintsArtifact is the persisted learned-hints document.
+type HintsArtifact struct {
+	Kind    string        `json:"kind"`
+	Version int           `json:"version"`
+	Entries []LearnedHint `json:"entries"`
+}
+
+// Encode renders the artifact as stable, indented JSON. Entries are
+// already key-sorted (Finalize guarantees it), so two identical runs
+// produce byte-identical files.
+func (a *HintsArtifact) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ParseHintsArtifact parses and validates a learned-hints document:
+// kind, version, strictly key-sorted entries, parseable strategies, and
+// non-negative numerics. The checks double as the validatereport gate.
+func ParseHintsArtifact(data []byte) (*HintsArtifact, error) {
+	var a HintsArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("mpiio: bad hints artifact: %w", err)
+	}
+	if a.Kind != HintsKind {
+		return nil, fmt.Errorf("mpiio: hints artifact kind %q, want %q", a.Kind, HintsKind)
+	}
+	if a.Version != HintsVersion {
+		return nil, fmt.Errorf("mpiio: hints artifact version %d, want %d", a.Version, HintsVersion)
+	}
+	for i, e := range a.Entries {
+		if i > 0 && a.Entries[i-1].Key >= e.Key {
+			return nil, fmt.Errorf("mpiio: hints entries out of key order: %q before %q", a.Entries[i-1].Key, e.Key)
+		}
+		if _, err := ParseStrategy(e.Strategy); err != nil {
+			return nil, fmt.Errorf("mpiio: hints entry %q: %w", e.Key, err)
+		}
+		if e.SieveGap < 0 || e.CbNodes < 0 || e.CbBufferSize < 0 || e.Observations < 0 || e.CostS < 0 {
+			return nil, fmt.Errorf("mpiio: hints entry %q has negative fields", e.Key)
+		}
+	}
+	return &a, nil
+}
+
+// TunerCandidates is the fixed exploration slate for one profile: the
+// current fixed heuristic first (so the tuner can never do worse than it
+// on a converged key), gap variants an octave either side, then the
+// alternative strategies. The order is part of the determinism contract —
+// exploration rotates through it by per-(rank, key) ordinal, and cost
+// ties resolve to the lowest index.
+func TunerCandidates(p vfs.Profile, base Hints) []Hints {
+	derive := base
+	derive.SieveGap = 0
+	g := derive.EffectiveSieveGap(p)
+	small := g / 8
+	if small < 1 {
+		small = 1
+	}
+	mk := func(strat Strategy, gap int64) Hints {
+		h := base
+		h.ReadStrategy = strat
+		h.SieveGap = gap
+		return h
+	}
+	return []Hints{
+		mk(StrategyTwoPhase, g),     // index 0: the fixed heuristic
+		mk(StrategyTwoPhase, small), // finer sieving
+		mk(StrategyTwoPhase, g*8),   // coarser sieving (capped by cb_buffer_size)
+		mk(StrategyListIO, 0),
+		mk(StrategyIndependent, 0),
+	}
+}
+
+// tunerCounterNames are the per-rank mpiio counters whose deltas one
+// observation attributes to its collective. Only the owning rank writes
+// its per-rank series, so reading them here is race-free and
+// deterministic.
+var tunerCounterNames = [...]string{
+	"mpiio.agg_reads",
+	"mpiio.agg_read_bytes",
+	"mpiio.sieve_waste_bytes",
+	"mpiio.shuffle_bytes",
+	"mpiio.reads",
+	"mpiio.read_bytes",
+}
+
+const (
+	ctrAggReads = iota
+	ctrAggReadBytes
+	ctrSieveWaste
+	ctrShuffleBytes
+	ctrReads
+	ctrReadBytes
+)
+
+func tunerCounterValues(reg *metrics.Registry, rank int) [len(tunerCounterNames)]int64 {
+	var out [len(tunerCounterNames)]int64
+	for i, name := range tunerCounterNames {
+		out[i] = reg.Counter(name, rank).Value()
+	}
+	return out
+}
+
+// tunerObs is one in-flight exploration measurement: where the rank's
+// virtual clock and counters stood when the decision was made.
+type tunerObs struct {
+	key      string
+	cand     int
+	start    float64
+	counters [len(tunerCounterNames)]int64
+	hints    Hints
+}
+
+// trialStats merges every rank's observations of one (key, candidate)
+// cell with order-independent folds only.
+type trialStats struct {
+	hints   Hints
+	obs     int64
+	maxCost float64
+	deltas  [len(tunerCounterNames)]int64
+}
+
+// trialID identifies one (key, candidate) cell.
+type trialID struct {
+	key  string
+	cand int
+}
+
+// Tuner learns I/O hints online. One Tuner is shared by every rank of a
+// run (like the file system itself); all methods are concurrency-safe.
+type Tuner struct {
+	mu      sync.Mutex
+	learned map[string]LearnedHint
+	ordinal map[string]int // "<rank>\x00<key>" → decide count (explore rotation)
+	trials  map[trialID]*trialStats
+}
+
+// NewTuner returns an empty tuner: every key starts in exploration.
+func NewTuner() *Tuner {
+	return &Tuner{
+		learned: make(map[string]LearnedHint),
+		ordinal: make(map[string]int),
+		trials:  make(map[trialID]*trialStats),
+	}
+}
+
+// LoadTuner seeds a tuner from a persisted artifact: the loaded keys are
+// exploited immediately (no re-exploration); unseen keys still explore.
+func LoadTuner(data []byte) (*Tuner, error) {
+	a, err := ParseHintsArtifact(data)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTuner()
+	for _, e := range a.Entries {
+		t.learned[e.Key] = e
+	}
+	return t, nil
+}
+
+// decide picks the hints for one collective read. Learned keys exploit
+// the stored decision; unknown keys rotate the candidate slate by this
+// rank's per-key ordinal — deterministic and identical across the ranks
+// of the collective, since all of them observe their collectives in the
+// same global order. A non-nil observation means "measure this op and
+// call observe after the closing barrier".
+func (t *Tuner) decide(r *mpi.Rank, p vfs.Profile, sig string, base Hints) (Hints, *tunerObs) {
+	key := p.Name + "/" + sig
+	reg := r.Metrics()
+	reg.Counter("mpiio.tuner.decisions", r.ID()).Inc()
+	t.mu.Lock()
+	if e, ok := t.learned[key]; ok {
+		t.mu.Unlock()
+		reg.Counter("mpiio.tuner.exploit", r.ID()).Inc()
+		return e.apply(base), nil
+	}
+	cands := TunerCandidates(p, base)
+	ordKey := fmt.Sprintf("%d\x00%s", r.ID(), key)
+	idx := t.ordinal[ordKey] % len(cands)
+	t.ordinal[ordKey]++
+	t.mu.Unlock()
+	reg.Counter("mpiio.tuner.explore", r.ID()).Inc()
+	return cands[idx], &tunerObs{
+		key:      key,
+		cand:     idx,
+		start:    r.Clock().Now(),
+		counters: tunerCounterValues(reg, r.ID()),
+		hints:    cands[idx],
+	}
+}
+
+// observe settles one exploration measurement after the collective's
+// closing barrier: the rank's virtual elapsed time plus its counter
+// deltas, folded into the (key, candidate) cell with order-independent
+// operations only (max, integer sums).
+func (t *Tuner) observe(r *mpi.Rank, obs *tunerObs) {
+	reg := r.Metrics()
+	elapsed := r.Clock().Now() - obs.start
+	reg.Histogram("mpiio.tuner.op_seconds", r.ID(), metrics.TimeBuckets()).Observe(elapsed)
+	now := tunerCounterValues(reg, r.ID())
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := trialID{key: obs.key, cand: obs.cand}
+	st := t.trials[id]
+	if st == nil {
+		st = &trialStats{hints: obs.hints}
+		t.trials[id] = st
+	}
+	st.obs++
+	if elapsed > st.maxCost {
+		st.maxCost = elapsed
+	}
+	for i := range now {
+		st.deltas[i] += now[i] - obs.counters[i]
+	}
+}
+
+// Finalize converts the exploration record into the learned table and
+// returns the persistable artifact: per key, the candidate with the
+// lowest worst-case virtual cost wins (ties resolve to the lowest slate
+// index — the fixed heuristic). Keys loaded from an earlier artifact are
+// carried through unchanged. After Finalize the tuner exploits every key
+// it has an entry for; further exploration of new keys may continue.
+func (t *Tuner) Finalize() *HintsArtifact {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Collect, then sort: the (key, candidate) fold order must not
+	// depend on map iteration.
+	ids := make([]trialID, 0, len(t.trials))
+	for id := range t.trials {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].key != ids[j].key {
+			return ids[i].key < ids[j].key
+		}
+		return ids[i].cand < ids[j].cand
+	})
+	for _, id := range ids {
+		if _, ok := t.learned[id.key]; ok {
+			continue // loaded or already decided: first decision wins
+		}
+		best := id
+		bestStats := t.trials[id]
+		for _, other := range ids {
+			if other.key != id.key || other.cand <= best.cand {
+				continue
+			}
+			if st := t.trials[other]; st.maxCost < bestStats.maxCost {
+				best, bestStats = other, st
+			}
+		}
+		h := bestStats.hints
+		t.learned[id.key] = LearnedHint{
+			Key:             id.key,
+			Strategy:        h.ReadStrategy.String(),
+			SieveGap:        h.SieveGap,
+			CbNodes:         h.CbNodes,
+			CbBufferSize:    h.CbBufferSize,
+			Observations:    bestStats.obs,
+			CostS:           bestStats.maxCost,
+			SieveWasteBytes: bestStats.deltas[ctrSieveWaste],
+			AggReads:        bestStats.deltas[ctrAggReads],
+		}
+	}
+	keys := make([]string, 0, len(t.learned))
+	for k := range t.learned {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	a := &HintsArtifact{Kind: HintsKind, Version: HintsVersion, Entries: make([]LearnedHint, 0, len(keys))}
+	for _, k := range keys {
+		a.Entries = append(a.Entries, t.learned[k])
+	}
+	return a
+}

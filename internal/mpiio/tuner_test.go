@@ -1,0 +1,198 @@
+package mpiio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parblast/internal/metrics"
+	"parblast/internal/mpi"
+	"parblast/internal/vfs"
+)
+
+// tunerExploreViews is a holey pattern: enough structure that the
+// candidates genuinely differ in cost.
+func tunerExploreViews(n int) ([]View, [][]byte, []byte) {
+	return interleavedViews(n, 6*n, 128)
+}
+
+// runTunedReads drives ops collective reads per rank through a shared
+// tuner and returns each rank's last result.
+func runTunedReads(t *testing.T, n, ops int, tuner *Tuner, reg *metrics.Registry) [][]byte {
+	t.Helper()
+	views, want, total := tunerExploreViews(n)
+	got := runReaders(t, n, vfs.NFSLike(), total, mpi.Config{Cost: testCost(), Metrics: reg},
+		func(r *mpi.Rank, f *File) ([]byte, error) {
+			f.SetTuner(tuner)
+			if err := f.SetView(views[r.ID()]); err != nil {
+				return nil, err
+			}
+			var data []byte
+			for op := 0; op < ops; op++ {
+				var err error
+				data, err = f.ReadCollective()
+				if err != nil {
+					return nil, err
+				}
+			}
+			return data, nil
+		})
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("rank %d mismatch at %d", i, firstMismatch(got[i], want[i]))
+		}
+	}
+	return got
+}
+
+// TestTunerArtifactDeterministic reruns the identical exploration twice
+// from scratch: the encoded learned-hints artifacts must be byte-identical
+// (the determinism contract for persisted artifacts).
+func TestTunerArtifactDeterministic(t *testing.T) {
+	encode := func() []byte {
+		tuner := NewTuner()
+		runTunedReads(t, 3, len(TunerCandidates(vfs.NFSLike(), Hints{})), tuner, metrics.NewRegistry())
+		data, err := tuner.Finalize().Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := encode(), encode()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("artifacts differ across identical runs:\n%s\nvs\n%s", a, b)
+	}
+	if _, err := ParseHintsArtifact(a); err != nil {
+		t.Fatalf("self-produced artifact does not validate: %v", err)
+	}
+}
+
+// TestLoadTunerExploits round-trips an artifact through LoadTuner: every
+// decision on a learned key must exploit (no re-exploration), and the
+// loaded entries survive a further Finalize unchanged.
+func TestLoadTunerExploits(t *testing.T) {
+	tuner := NewTuner()
+	runTunedReads(t, 2, len(TunerCandidates(vfs.NFSLike(), Hints{})), tuner, metrics.NewRegistry())
+	data, err := tuner.Finalize().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadTuner(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	runTunedReads(t, 2, 1, loaded, reg)
+	if explore := counterTotal(reg, "mpiio.tuner.explore"); explore != 0 {
+		t.Fatalf("loaded tuner explored %d times, want 0", explore)
+	}
+	if exploit := counterTotal(reg, "mpiio.tuner.exploit"); exploit != 2 {
+		t.Fatalf("loaded tuner exploited %d times, want 2", exploit)
+	}
+
+	again, err := loaded.Finalize().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("loaded entries changed through Finalize:\n%s\nvs\n%s", data, again)
+	}
+}
+
+// TestParseHintsArtifactRejects pins the artifact validation: wrong kind,
+// wrong version, out-of-order keys, unknown strategies, and negative
+// numerics are all load errors, not silent acceptance.
+func TestParseHintsArtifactRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"garbage", `{`, "bad hints artifact"},
+		{"wrong kind", `{"kind":"other","version":1,"entries":[]}`, "kind"},
+		{"wrong version", `{"kind":"parblast-io-hints","version":2,"entries":[]}`, "version"},
+		{"unsorted keys", `{"kind":"parblast-io-hints","version":1,"entries":[
+			{"key":"b/contig","strategy":"two-phase","observations":1,"cost_s":1},
+			{"key":"a/contig","strategy":"two-phase","observations":1,"cost_s":1}]}`, "order"},
+		{"duplicate keys", `{"kind":"parblast-io-hints","version":1,"entries":[
+			{"key":"a/contig","strategy":"two-phase","observations":1,"cost_s":1},
+			{"key":"a/contig","strategy":"two-phase","observations":1,"cost_s":1}]}`, "order"},
+		{"unknown strategy", `{"kind":"parblast-io-hints","version":1,"entries":[
+			{"key":"a/contig","strategy":"psychic","observations":1,"cost_s":1}]}`, "strategy"},
+		{"negative gap", `{"kind":"parblast-io-hints","version":1,"entries":[
+			{"key":"a/contig","strategy":"two-phase","sieve_gap":-1,"observations":1,"cost_s":1}]}`, "negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseHintsArtifact([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestTunerCandidatesSlate pins the exploration slate's shape: the fixed
+// heuristic at index 0 (so a converged tuner can never regress it), gap
+// octaves either side with the floor/cap applied, then the alternative
+// strategies.
+func TestTunerCandidatesSlate(t *testing.T) {
+	p := vfs.NFSLike()
+	base := Hints{}
+	cands := TunerCandidates(p, base)
+	if len(cands) != 5 {
+		t.Fatalf("slate has %d candidates, want 5", len(cands))
+	}
+	g := base.EffectiveSieveGap(p)
+	if cands[0].ReadStrategy != StrategyTwoPhase || cands[0].SieveGap != g {
+		t.Fatalf("candidate 0 = %+v, want the fixed heuristic (two-phase, gap %d)", cands[0], g)
+	}
+	if cands[1].SieveGap != g/8 {
+		t.Fatalf("candidate 1 gap = %d, want %d", cands[1].SieveGap, g/8)
+	}
+	if cands[2].SieveGap != g*8 {
+		t.Fatalf("candidate 2 gap = %d, want %d", cands[2].SieveGap, g*8)
+	}
+	if cands[3].ReadStrategy != StrategyListIO || cands[4].ReadStrategy != StrategyIndependent {
+		t.Fatalf("candidates 3/4 = %v/%v, want list-io/independent", cands[3].ReadStrategy, cands[4].ReadStrategy)
+	}
+	// A near-zero derived gap must still produce a legal finer candidate.
+	tiny := vfs.Profile{Name: "tiny", Latency: 1e-9, Bandwidth: 100e6, Channels: 1}
+	if got := TunerCandidates(tiny, base)[1].SieveGap; got < 1 {
+		t.Fatalf("finer candidate gap = %d on a tiny profile, want >= 1", got)
+	}
+}
+
+// TestFinalizeTiePrefersFixedHeuristic seeds the trial table directly: on
+// equal worst-case cost the lowest slate index (the fixed heuristic) must
+// win, and a strictly cheaper higher-index candidate must displace it.
+func TestFinalizeTiePrefersFixedHeuristic(t *testing.T) {
+	mk := func(costs map[int]float64) *Tuner {
+		tn := NewTuner()
+		for cand, cost := range costs {
+			tn.trials[trialID{key: "p/holey", cand: cand}] = &trialStats{
+				hints:   Hints{ReadStrategy: StrategyTwoPhase, SieveGap: int64(1000 * (cand + 1))},
+				obs:     1,
+				maxCost: cost,
+			}
+		}
+		return tn
+	}
+
+	tie := mk(map[int]float64{0: 2.5, 1: 2.5, 2: 2.5}).Finalize()
+	if len(tie.Entries) != 1 || tie.Entries[0].SieveGap != 1000 {
+		t.Fatalf("tie resolved to %+v, want candidate 0 (gap 1000)", tie.Entries)
+	}
+
+	win := mk(map[int]float64{0: 2.5, 1: 1.0, 2: 2.5}).Finalize()
+	if len(win.Entries) != 1 || win.Entries[0].SieveGap != 2000 {
+		t.Fatalf("cheaper candidate lost: %+v, want candidate 1 (gap 2000)", win.Entries)
+	}
+	if win.Entries[0].CostS != 1.0 {
+		t.Fatalf("winner cost = %g, want 1.0", win.Entries[0].CostS)
+	}
+}

@@ -31,6 +31,16 @@ type Profile struct {
 	Channels int
 }
 
+// SeekEquivalentBytes is the transfer volume that costs as much time as
+// one operation's setup latency (latency × bandwidth): the break-even
+// hole size for data sieving — transferring a smaller hole is cheaper
+// than paying a second operation's latency. Truncated toward zero, so
+// near-zero-latency profiles yield 0; callers needing a positive gap
+// must floor it.
+func (p Profile) SeekEquivalentBytes() int64 {
+	return int64(p.Latency * p.Bandwidth)
+}
+
 // Validate rejects unusable profiles.
 func (p Profile) Validate() error {
 	if p.Latency < 0 || p.Bandwidth <= 0 || p.Channels < 1 {

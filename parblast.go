@@ -30,6 +30,7 @@ import (
 	"parblast/internal/metrics"
 	"parblast/internal/mpi"
 	"parblast/internal/mpiblast"
+	"parblast/internal/mpiio"
 	"parblast/internal/seq"
 	"parblast/internal/simtime"
 	"parblast/internal/trace"
@@ -72,6 +73,15 @@ type (
 	Fault = mpi.Fault
 	// FaultKind selects crash vs degrade.
 	FaultKind = mpi.FaultKind
+	// IOHints is the MPI-IO info object (read strategy, aggregator count,
+	// collective buffer size, sieve gap) applied to every shared-file
+	// handle of a pioBLAST run — see PioOptions.IOHints.
+	IOHints = mpiio.Hints
+	// IOTuner learns I/O hints online and persists them as a versioned
+	// artifact — see PioOptions.IOTuner.
+	IOTuner = mpiio.Tuner
+	// IOHintsArtifact is the persisted learned-hints document.
+	IOHintsArtifact = mpiio.HintsArtifact
 )
 
 // Molecule kinds.
@@ -109,6 +119,15 @@ var (
 	DefaultDNAOptions = blast.DefaultDNAOptions
 	// DefaultCostModel is a 2004-era cluster cost model.
 	DefaultCostModel = simtime.DefaultCostModel
+	// ParseIOStrategy parses a collective-read strategy name
+	// ("two-phase", "list-io", "independent"; "" = two-phase).
+	ParseIOStrategy = mpiio.ParseStrategy
+	// NewIOTuner returns an empty I/O auto-tuner (every key explores).
+	NewIOTuner = mpiio.NewTuner
+	// LoadIOTuner seeds a tuner from a persisted learned-hints artifact.
+	LoadIOTuner = mpiio.LoadTuner
+	// ParseIOHintsArtifact parses and validates a learned-hints document.
+	ParseIOHintsArtifact = mpiio.ParseHintsArtifact
 )
 
 // Platform selects a storage configuration modelled on the paper's two

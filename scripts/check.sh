@@ -52,6 +52,21 @@ go run ./cmd/benchsuite -exp readpath -dbseqs 120 -querybytes 1500 >/dev/null
 # at small rank counts with byte-identical layouts across every fan-out.
 go run ./cmd/benchsuite -exp mergescale -mergescale-ranks 8,16 >/dev/null
 
+# I/O auto-tuning smoke: the tuned-vs-fixed study enforces its own gate
+# (tuned never regresses the fixed heuristics on any fs profile, strictly
+# beats them somewhere, byte-identity everywhere) and its learned-hints
+# artifact must validate and round-trip through parblast -io-hints.
+go run ./cmd/benchsuite -exp iotune -hints-out "$tmp/hints.json" >/dev/null
+go run ./scripts/validatereport -hints "$tmp/hints.json"
+go run ./cmd/parblast -db "$tmp/db.fasta" -query "$tmp/q.fasta" \
+    -engine pio -procs 4 -collective-read -io-tune "$tmp/hints2.json" \
+    -out "$tmp/results_tune.txt" >/dev/null
+go run ./scripts/validatereport -hints "$tmp/hints2.json"
+go run ./cmd/parblast -db "$tmp/db.fasta" -query "$tmp/q.fasta" \
+    -engine pio -procs 4 -collective-read -io-hints "$tmp/hints2.json" \
+    -out "$tmp/results_hinted.txt" >/dev/null
+cmp "$tmp/results_tune.txt" "$tmp/results_hinted.txt"
+
 # Perf-trajectory guard: the newest checked-in kernel benchmark record must
 # not regress allocation counts against its predecessor.
 go run ./scripts/benchdiff -old BENCH_1.json -new BENCH_2.json

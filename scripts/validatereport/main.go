@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	validatereport -run run.json [-trace trace.json]
+//	validatereport -run run.json [-trace trace.json] [-hints hints.json]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"parblast/internal/metrics"
+	"parblast/internal/mpiio"
 	"parblast/internal/report"
 )
 
@@ -103,17 +104,37 @@ func validateTrace(path string) {
 	fmt.Printf("%s: ok (%d events, %d spans)\n", path, len(doc.TraceEvents), spans)
 }
 
+// validateHints parses a learned-hints artifact (parblast -io-tune,
+// benchsuite -hints-out) through the same versioned parser the tools load
+// it with: kind, version, strictly key-sorted entries, known strategies,
+// non-negative numerics.
+func validateHints(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	a, err := mpiio.ParseHintsArtifact(data)
+	if err != nil {
+		fail("%s: %v", path, err)
+	}
+	fmt.Printf("%s: ok (%s v%d, %d learned keys)\n", path, a.Kind, a.Version, len(a.Entries))
+}
+
 func main() {
 	runPath := flag.String("run", "", "run-report JSON to validate")
 	tracePath := flag.String("trace", "", "Chrome trace JSON to validate")
+	hintsPath := flag.String("hints", "", "learned-hints artifact JSON to validate")
 	flag.Parse()
-	if *runPath == "" && *tracePath == "" {
-		fail("nothing to validate: pass -run and/or -trace")
+	if *runPath == "" && *tracePath == "" && *hintsPath == "" {
+		fail("nothing to validate: pass -run, -trace, and/or -hints")
 	}
 	if *runPath != "" {
 		validateRun(*runPath)
 	}
 	if *tracePath != "" {
 		validateTrace(*tracePath)
+	}
+	if *hintsPath != "" {
+		validateHints(*hintsPath)
 	}
 }
