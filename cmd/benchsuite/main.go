@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|fig1a|fig1b|table1|table2|fig3a|fig3b|fig4|ablations|readpath|hetero|faults|mergescale]
+//	benchsuite [-exp all|fig1a|fig1b|table1|table2|fig3a|fig3b|fig4|ablations|readpath|hetero|faults|mergescale|latency]
 //	           [-dbseqs N] [-family N] [-querybytes N] [-mergescale-ranks 32,128]
 //	           [-report suite.json]
 //	benchsuite -kernelbench [-bench-out BENCH_1.json] [-mergescale]
@@ -115,6 +115,30 @@ func faultSuiteRows(rows []experiments.FaultRow) []report.SuiteRow {
 const faultsTitle = "Fault tolerance: worker crash at mid-search + transient I/O errors"
 const mergeScaleTitle = "Merge scalability: flat master-ingest vs hierarchical tree merge"
 const ioTuneTitle = "I/O auto-tuning: learned hints vs fixed heuristics"
+const latencyTitle = "Per-query latency and exact critical path (ranks × protocols)"
+
+// latencySuiteRows flattens latency-sweep rows into the suite artifact's
+// row shape: the percentile block rides the summary's query_latency field,
+// and the critical path's dominant blame labels the row.
+func latencySuiteRows(rows []experiments.LatencyRow) []report.SuiteRow {
+	out := make([]report.SuiteRow, 0, len(rows))
+	for _, r := range rows {
+		label := r.Protocol
+		if r.Path != nil {
+			label = fmt.Sprintf("%s dominant=%s", r.Protocol, r.Path.Dominant)
+		}
+		out = append(out, report.SuiteRow{
+			Label:  label,
+			Engine: r.Engine,
+			Procs:  r.Procs,
+			Summary: report.RunSummary{
+				Wall:         r.Wall,
+				QueryLatency: r.Latency,
+			},
+		})
+	}
+	return out
+}
 
 // ioTuneSuiteRows flattens tuned-vs-fixed cells into the suite artifact's
 // row shape: the tuned wall per (profile, pattern) cell, labelled with the
@@ -172,7 +196,7 @@ func parseRankList(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig1a, fig1b, table1, table2, fig3a, fig3b, fig4, ablations, readpath, hetero, faults, mergescale, iotune")
+	exp := flag.String("exp", "all", "experiment to run: all, fig1a, fig1b, table1, table2, fig3a, fig3b, fig4, ablations, readpath, hetero, faults, mergescale, iotune, latency")
 	hintsOut := flag.String("hints-out", "", "with -exp iotune (or all): write the learned-hints artifact to this path")
 	dbSeqs := flag.Int("dbseqs", 0, "override database sequence count")
 	family := flag.Int("family", 0, "override family size (database redundancy)")
@@ -280,6 +304,25 @@ func main() {
 		if err := runIOTune(); err != nil {
 			fail(fmt.Errorf("iotune: %w", err))
 		}
+		latRows, err := experiments.Latency(&lab)
+		if err != nil {
+			fail(fmt.Errorf("latency: %w", err))
+		}
+		experiments.PrintLatencyRows(os.Stdout, latRows)
+		suite.Experiments = append(suite.Experiments, report.Experiment{
+			Name: "latency", Title: latencyTitle, Rows: latencySuiteRows(latRows),
+		})
+	case "latency":
+		// Latency rows carry percentile blocks and the exact critical path
+		// (own row shape), so they bypass the generic printer.
+		rows, err := experiments.Latency(&lab)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintLatencyRows(os.Stdout, rows)
+		suite.Experiments = append(suite.Experiments, report.Experiment{
+			Name: "latency", Title: latencyTitle, Rows: latencySuiteRows(rows),
+		})
 	case "iotune":
 		// Like faults and mergescale, iotune has its own row shape (fixed
 		// vs tuned walls, learned decisions), so it bypasses the generic

@@ -53,6 +53,7 @@ func main() {
 	crash := flag.String("crash", "", "inject a worker crash as RANK@TIME (e.g. 3@0.2); arms failure recovery")
 	reportPath := flag.String("report", "", "write a machine-readable JSON run report to this path")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable) to this path")
+	traceFlows := flag.Bool("trace-flows", false, "record causal message flows: Perfetto flow arrows in -trace-out and an exact wait-for critical path in -report")
 	flag.Parse()
 
 	if (*dbPath == "" && *dbDir == "") || *queryPath == "" {
@@ -101,8 +102,11 @@ func main() {
 		fail(err)
 	}
 	var collector *parblast.TraceCollector
-	if *timeline || *traceOut != "" {
+	if *timeline || *traceOut != "" || *traceFlows {
 		collector = cluster.Trace()
+	}
+	if *traceFlows {
+		collector = cluster.TraceFlows()
 	}
 	var registry *parblast.MetricsRegistry
 	if *reportPath != "" {
@@ -235,6 +239,10 @@ func main() {
 		fmt.Printf("virtual time:  copy=%.2fs input=%.2fs search=%.2fs output=%.2fs other=%.2fs\n",
 			b.Copy, b.Input, b.Search, b.Output, b.Other)
 		fmt.Printf("total=%.2fs  search share=%.1f%%\n", res.Wall, res.SearchFraction()*100)
+		if ls := runreport.LatencySummaryOf(res.QueryLatencies); ls != nil {
+			fmt.Printf("query latency: n=%d p50=%.3fs p95=%.3fs p99=%.3fs max=%.3fs\n",
+				ls.Count, ls.P50, ls.P95, ls.P99, ls.Max)
+		}
 	}
 	fmt.Printf("report: %d bytes → %s\n", len(report), *outPath)
 	if *ioTune != "" {
@@ -258,6 +266,9 @@ func main() {
 			DBResidues: db.TotalResidues,
 		}
 		doc := runreport.Build(info, res, registry)
+		if *traceFlows {
+			doc.ExactPath = runreport.ExactCriticalPath(collector)
+		}
 		f, err := os.Create(*reportPath)
 		if err != nil {
 			fail(err)
@@ -280,8 +291,16 @@ func main() {
 			"platform": platform.String(),
 			"procs":    fmt.Sprintf("%d", *procs),
 		}
-		if err := collector.WriteChromeTrace(f, meta); err != nil {
-			fail(err)
+		// With a metrics registry attached, export histogram/distribution
+		// series as Perfetto counter tracks alongside the rank timelines.
+		var werr error
+		if registry != nil {
+			werr = collector.WriteChromeTraceMetrics(f, meta, registry.Snapshot())
+		} else {
+			werr = collector.WriteChromeTrace(f, meta)
+		}
+		if werr != nil {
+			fail(werr)
 		}
 		if err := f.Close(); err != nil {
 			fail(err)

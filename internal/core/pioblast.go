@@ -482,9 +482,12 @@ func RunConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 	if cfg.Comm == nil {
 		cfg.Comm = mpi.NewCommStats(nprocs)
 	}
+	// Per-query latency sink, filled by the master goroutine and read only
+	// after mpi.RunConfig returns (the run's WaitGroup is the barrier).
+	qlat := make([]float64, len(job.Queries))
 	clocks, err := mpi.RunConfig(nprocs, cfg, func(r *mpi.Rank) error {
 		if r.ID() == 0 {
-			return runMaster(r, nodes[0], job, meta, indexBytes, opts.IOTuner)
+			return runMaster(r, nodes[0], job, meta, indexBytes, opts.IOTuner, qlat)
 		}
 		return runWorker(r, nodes[r.ID()], job.Options, opts.IOTuner)
 	})
@@ -496,6 +499,7 @@ func RunConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 		outBytes = f.Size()
 	}
 	res := engine.Summarize(clocks, outBytes)
+	res.QueryLatencies = qlat
 	res.CommBytes, res.ShuffleBytes, res.CollectiveBytes, res.CommMessages = cfg.Comm.Totals()
 	res.AddIOFaults(nodes)
 	return res, nil
@@ -554,13 +558,16 @@ func exchangeVolumes(r *mpi.Rank, local []int64) []int64 {
 	return total
 }
 
-func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, indexBytes int64, tuner *mpiio.Tuner) error {
+func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, indexBytes int64, tuner *mpiio.Tuner, qlat []float64) error {
 	r.SetPhase(simtime.PhaseOther)
 	r.Advance(r.Cost().SetupCost)
 	r.SetPhase(simtime.PhaseInput)
 	r.IO(node.Shared, indexBytes) // read the global index files for partitioning
 	r.SetPhase(simtime.PhaseOther)
 	r.Bcast(0, engine.EncodeGob(meta))
+	// Admission: every query is "in the system" once the job metadata
+	// broadcast completes — the latency baseline for all queries.
+	admit := r.Clock().Now()
 
 	workers := r.Size() - 1
 	alive := make([]int, 0, workers)
@@ -685,7 +692,12 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, index
 		bounds = adaptiveBounds(volumes, meta.MemBudget)
 	}
 	var off int64
+	batchIdx := -1
 	err = runBatches(bounds, func(q0, q1 int) error {
+		// Stamp the batch ordinal as the trace context: every envelope the
+		// master sends for this batch carries it, and receivers propagate it.
+		batchIdx++
+		r.SetTraceBatch(batchIdx)
 		// While the workers finish this batch, the master is parked.
 		r.SetPhase(simtime.PhaseIdle)
 		if meta.EarlyPrune {
@@ -794,6 +806,11 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, index
 				mpiio.Segment{Offset: headOff, Length: int64(len(header) + len(summary))},
 				mpiio.Segment{Offset: cur, Length: int64(len(footer))})
 			off = cur + int64(len(footer))
+			// The query's results are now globally merged and laid out:
+			// its end-to-end latency is settled on the master's clock.
+			lat := r.Clock().Now() - admit
+			qlat[q] = lat
+			engine.RecordQueryLatency(r.Metrics(), r.ID(), lat)
 		}
 		if meta.Tree {
 			// Layout broadcast down the tree (§3.3): one bundle holding
@@ -1158,7 +1175,10 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options, tuner *mpiio.Tun
 		volumes := exchangeVolumes(r, local)
 		bounds = adaptiveBounds(volumes, meta.MemBudget)
 	}
+	workerBatch := -1
 	err = runBatches(bounds, func(q0, q1 int) error {
+		workerBatch++
+		r.SetTraceBatch(workerBatch)
 		r.SetPhase(simtime.PhaseOutput)
 		// Consolidate each query's hits across this worker's parts.
 		for q := q0; q < q1; q++ {

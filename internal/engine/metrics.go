@@ -32,6 +32,17 @@ func RecordMerge(reg *metrics.Registry, rank, candidates, kept int) {
 	reg.Counter("blast.hsps_dropped", rank).Add(int64(candidates - kept))
 }
 
+// RecordQueryLatency books one query's end-to-end latency (admission to
+// result-merge completion, virtual seconds) into the engine.query_latency_s
+// distribution — the serving-SLO series the report layer computes exact
+// percentiles from. Nil-safe like every registry instrument.
+func RecordQueryLatency(reg *metrics.Registry, rank int, seconds float64) {
+	if reg == nil {
+		return
+	}
+	reg.Distribution("engine.query_latency_s", rank, metrics.LatencyBuckets()).Observe(seconds)
+}
+
 // AddIOFaults folds the fault statistics of every distinct file system the
 // run could touch into the result (the shared FS appears in every node, so
 // it is counted once).

@@ -38,6 +38,13 @@ type RunResult struct {
 	IOFaultedOps int64
 	IORetries    int64
 	IOBackoff    float64
+	// QueryLatencies holds each query's end-to-end virtual latency, indexed
+	// by query order: admission (the master's clock when the job metadata
+	// broadcast completes) to that query's result-merge completion. Purely
+	// virtual-time derived, so the values are byte-identical across repeated
+	// runs and across SearchThreads settings. Empty when the engine did not
+	// record per-query latency.
+	QueryLatencies []float64
 }
 
 // Summarize computes Wall and Phase from clocks.

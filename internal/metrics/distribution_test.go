@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExactQuantile(t *testing.T) {
+	if got := ExactQuantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+	if got := ExactQuantile([]float64{7}, 0.99); got != 7 {
+		t.Fatalf("singleton p99 = %g, want 7", got)
+	}
+	// Nearest rank over 1..100: pN is exactly N.
+	s := make([]float64, 100)
+	for i := range s {
+		s[i] = float64(100 - i) // unsorted input
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 50}, {0.95, 95}, {0.99, 99}, {1.0, 100}, {0.01, 1},
+	} {
+		if got := ExactQuantile(s, tc.q); got != tc.want {
+			t.Fatalf("q=%g → %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	// Input must not be reordered.
+	if s[0] != 100 {
+		t.Fatal("ExactQuantile mutated its input")
+	}
+	// Duplicated samples follow the same rule: p50 of {1,1,4,4} is the
+	// 2nd smallest.
+	if got := ExactQuantile([]float64{4, 1, 4, 1}, 0.5); got != 1 {
+		t.Fatalf("p50 of {1,1,4,4} = %g, want 1", got)
+	}
+}
+
+// TestDistributionSnapshot: a distribution keeps both the bucketed view and
+// exact percentiles, and the snapshot orders series by (name, rank).
+func TestDistributionSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	d := reg.Distribution("engine.query_latency_s", 1, LatencyBuckets())
+	for _, v := range []float64{0.02, 0.3, 0.05, 2.5} {
+		d.Observe(v)
+	}
+	reg.Distribution("engine.query_latency_s", 0, LatencyBuckets()).Observe(0.5)
+
+	snap := reg.Snapshot()
+	if len(snap.Distributions) != 2 {
+		t.Fatalf("%d distribution series, want 2", len(snap.Distributions))
+	}
+	if snap.Distributions[0].Rank != 0 || snap.Distributions[1].Rank != 1 {
+		t.Fatalf("series out of rank order: %+v", snap.Distributions)
+	}
+	p := snap.Distributions[1]
+	if p.Total != 4 || p.Sum != 0.02+0.3+0.05+2.5 {
+		t.Fatalf("total/sum wrong: %+v", p)
+	}
+	// Nearest rank over {0.02, 0.05, 0.3, 2.5}: p50 → 2nd, p95/p99 → 4th.
+	if p.P50 != 0.05 || p.P95 != 2.5 || p.P99 != 2.5 || p.Max != 2.5 {
+		t.Fatalf("percentiles wrong: %+v", p)
+	}
+	// Bucket counts: bounds {1e-4..100}; 0.02 and 0.05 land in the ≤0.1
+	// bucket (index 3), 0.3 in ≤1 (index 4), 2.5 in ≤10 (index 5).
+	wantCounts := []int64{0, 0, 0, 2, 1, 1, 0, 0}
+	if !reflect.DeepEqual(p.Counts, wantCounts) {
+		t.Fatalf("counts = %v, want %v", p.Counts, wantCounts)
+	}
+	// Repeated snapshots are identical.
+	if !reflect.DeepEqual(snap, reg.Snapshot()) {
+		t.Fatal("snapshot not deterministic")
+	}
+}
+
+// TestDistributionNilSafety: nil registries and instruments are usable
+// no-ops, like every other instrument kind.
+func TestDistributionNilSafety(t *testing.T) {
+	var reg *Registry
+	d := reg.Distribution("x", 0, LatencyBuckets())
+	if d != nil {
+		t.Fatal("nil registry must return nil instrument")
+	}
+	d.Observe(1) // must not panic
+	var lone *Distribution
+	lone.Observe(2) // must not panic
+}

@@ -129,6 +129,40 @@ func TimeBuckets() []float64 {
 	return []float64{1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
 }
 
+// LatencyBuckets is the log-spaced virtual-seconds bucketing used by the
+// per-query end-to-end latency distributions: 100 µs to 100 s in 10× steps
+// (query latencies span the whole run, not one operation).
+func LatencyBuckets() []float64 {
+	return []float64{1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100}
+}
+
+// Distribution is a latency instrument that keeps BOTH log-spaced bucket
+// counts (for counter-track export) and the raw samples themselves, so a
+// snapshot can report exact deterministic percentiles instead of the
+// bucket-upper-bound estimates a plain Histogram gives. Sample counts are
+// small by construction (one observation per query), so retention is cheap.
+// Methods on a nil Distribution are no-ops.
+type Distribution struct {
+	mu      sync.Mutex
+	bounds  []float64
+	counts  []int64
+	samples []float64
+	sum     float64
+}
+
+// Observe records one value.
+func (d *Distribution) Observe(v float64) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	i := sort.SearchFloat64s(d.bounds, v)
+	d.counts[i]++
+	d.samples = append(d.samples, v)
+	d.sum += v
+	d.mu.Unlock()
+}
+
 type key struct {
 	name string
 	rank int
@@ -138,18 +172,20 @@ type key struct {
 // call NewRegistry. All methods are safe for concurrent use, and safe on a
 // nil receiver (returning nil no-op instruments).
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[key]*Counter
-	gauges     map[key]*Gauge
-	histograms map[key]*Histogram
+	mu            sync.Mutex
+	counters      map[key]*Counter
+	gauges        map[key]*Gauge
+	histograms    map[key]*Histogram
+	distributions map[key]*Distribution
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[key]*Counter),
-		gauges:     make(map[key]*Gauge),
-		histograms: make(map[key]*Histogram),
+		counters:      make(map[key]*Counter),
+		gauges:        make(map[key]*Gauge),
+		histograms:    make(map[key]*Histogram),
+		distributions: make(map[key]*Distribution),
 	}
 }
 
@@ -204,6 +240,25 @@ func (r *Registry) Histogram(name string, rank int, bounds []float64) *Histogram
 	return h
 }
 
+// Distribution returns the distribution for (name, rank), creating it with
+// the given bounds on first use (later calls reuse the original bounds).
+func (r *Registry) Distribution(name string, rank int, bounds []float64) *Distribution {
+	if r == nil {
+		return nil
+	}
+	k := key{name, rank}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.distributions[k]
+	if !ok {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		d = &Distribution{bounds: b, counts: make([]int64, len(b)+1)}
+		r.distributions[k] = d
+	}
+	return d
+}
+
 // CounterPoint is one counter series in a snapshot.
 type CounterPoint struct {
 	Name  string `json:"name"`
@@ -229,13 +284,50 @@ type HistogramPoint struct {
 	Sum    float64   `json:"sum"`
 }
 
+// DistributionPoint is one distribution series in a snapshot: the bucket
+// view (one count per bound plus overflow) AND exact percentiles computed
+// from the retained raw samples with the nearest-rank rule — deterministic,
+// not estimates.
+type DistributionPoint struct {
+	Name   string    `json:"name"`
+	Rank   int       `json:"rank"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Total  int64     `json:"total"`
+	Sum    float64   `json:"sum"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
+	Max    float64   `json:"max"`
+}
+
+// ExactQuantile returns the nearest-rank q-quantile (0 < q <= 1) of a
+// sample set: the ceil(q*n)-th smallest value. The input need not be
+// sorted; it is not modified. Returns 0 on an empty set.
+func ExactQuantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
 // Snapshot is a point-in-time copy of every instrument, ordered by
 // (name, rank) within each kind — deterministic for a deterministic run,
 // and stable under JSON marshalling.
 type Snapshot struct {
-	Counters   []CounterPoint   `json:"counters"`
-	Gauges     []GaugePoint     `json:"gauges"`
-	Histograms []HistogramPoint `json:"histograms"`
+	Counters      []CounterPoint      `json:"counters"`
+	Gauges        []GaugePoint        `json:"gauges"`
+	Histograms    []HistogramPoint    `json:"histograms"`
+	Distributions []DistributionPoint `json:"distributions,omitempty"`
 }
 
 // Snapshot copies the registry's current state. Safe to call mid-run from
@@ -262,6 +354,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, h := range r.histograms {
 		histograms[k] = h
 	}
+	distributions := make(map[key]*Distribution, len(r.distributions))
+	for k, d := range r.distributions {
+		distributions[k] = d
+	}
 	r.mu.Unlock()
 
 	for k, c := range counters {
@@ -285,6 +381,31 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		s.Histograms = append(s.Histograms, p)
 	}
+	for k, d := range distributions {
+		d.mu.Lock()
+		p := DistributionPoint{
+			Name:   k.name,
+			Rank:   k.rank,
+			Bounds: append([]float64(nil), d.bounds...),
+			Counts: append([]int64(nil), d.counts...),
+			Total:  int64(len(d.samples)),
+			Sum:    d.sum,
+		}
+		samples := append([]float64(nil), d.samples...)
+		d.mu.Unlock()
+		p.P50 = ExactQuantile(samples, 0.50)
+		p.P95 = ExactQuantile(samples, 0.95)
+		p.P99 = ExactQuantile(samples, 0.99)
+		for _, v := range samples {
+			if v > p.Max {
+				p.Max = v
+			}
+		}
+		s.Distributions = append(s.Distributions, p)
+	}
+	sort.Slice(s.Distributions, func(i, j int) bool {
+		return lessPoint(s.Distributions[i].Name, s.Distributions[i].Rank, s.Distributions[j].Name, s.Distributions[j].Rank)
+	})
 	sort.Slice(s.Counters, func(i, j int) bool {
 		return lessPoint(s.Counters[i].Name, s.Counters[i].Rank, s.Counters[j].Name, s.Counters[j].Rank)
 	})
@@ -344,6 +465,11 @@ func (s Snapshot) HasPrefix(prefix string) bool {
 	}
 	for _, h := range s.Histograms {
 		if match(h.Name) {
+			return true
+		}
+	}
+	for _, d := range s.Distributions {
+		if match(d.Name) {
 			return true
 		}
 	}

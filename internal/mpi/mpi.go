@@ -81,6 +81,12 @@ type message struct {
 	data     []byte
 	arrival  float64
 	seq      int64
+	// Trace-context sideband: the sender's query-batch id and the virtual
+	// time the payload left its NIC. These ride OUTSIDE data so the
+	// bandwidth charge (len(data)/NetBandwidth) is byte-identical with
+	// tracing on or off.
+	batch  int
+	sendAt float64
 }
 
 type collective struct {
@@ -90,6 +96,11 @@ type collective struct {
 	releaseFn func(datas [][]byte, maxClock float64) float64
 	releaseAt float64
 	done      bool
+	// Per-rank causal context for flow emission: entry clock, trace batch,
+	// and whether the rank joined at all (crashed ranks never do).
+	entries []float64
+	batches []int
+	joined  []bool
 }
 
 // FaultKind classifies a scheduled fault.
@@ -185,9 +196,40 @@ type Rank struct {
 	// so the crash-aware protocol can drop stale retransmissions from
 	// earlier rounds. Only touched by the rank's own goroutine.
 	treeRound map[int]int64
+	// traceBatch is the rank's current query-batch trace context (-1 =
+	// none). Stamped on every outgoing envelope; adopted from incoming
+	// envelopes at delivery, so context propagates causally across ranks.
+	// Only touched by the rank's own goroutine.
+	traceBatch int
 }
 
 type abortPanic struct{ msg string }
+
+// Flow kinds reported through Config.OnFlow. The strings match the trace
+// package's flow constants (mpi deliberately does not import trace — the
+// façade adapts, mirroring the Observer/OnFault wiring).
+const (
+	FlowMsg     = "msg"     // point-to-point message delivery
+	FlowContrib = "contrib" // collective participant entry → fold site
+	FlowRelease = "release" // fold site → participant resume point
+)
+
+// FlowEvent is one causal edge between two rank timelines, reported at
+// delivery (or collective release) time. ID is unique and deterministic
+// within a run (drawn from the world's message sequence). Batch is the
+// sender's query-batch trace context (-1 = none). SendAt/RecvAt are
+// virtual times; emitting a flow never advances any clock.
+type FlowEvent struct {
+	Kind   string
+	Op     string
+	ID     int64
+	Batch  int
+	Src    int
+	Dst    int
+	Bytes  int
+	SendAt float64
+	RecvAt float64
+}
 
 // Config bundles a cost model with optional per-rank heterogeneity.
 type Config struct {
@@ -210,6 +252,13 @@ type Config struct {
 	// victim's goroutine, outside the world lock) — the hook the trace
 	// layer uses to put fault marks on the Gantt timeline.
 	OnFault func(rank int, kind FaultKind, at float64)
+	// OnFlow, when non-nil, receives one FlowEvent per causal edge:
+	// point-to-point deliveries (from the receiver's goroutine, outside the
+	// world lock) and collective contribution/release edges (from the
+	// completing rank's goroutine, UNDER the world lock — the callback must
+	// not call back into mpi). Flow reporting never advances virtual
+	// clocks, so enabling it cannot change any simulated time.
+	OnFlow func(FlowEvent)
 	// Metrics, when non-nil, receives the run's unified telemetry: per-tag
 	// message counts and bytes, collective-operation counts, and
 	// receive-timeout waits, all labelled by sending/acting rank. Metrics
@@ -396,7 +445,7 @@ func RunConfig(n int, cfg Config, body func(*Rank) error) ([]*simtime.Clock, err
 	clocks := make([]*simtime.Clock, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		r := &Rank{id: i, world: w, clock: simtime.NewClock()}
+		r := &Rank{id: i, world: w, clock: simtime.NewClock(), traceBatch: -1}
 		if cfg.Observer != nil {
 			r.clock.SetObserver(cfg.Observer(i))
 		}
@@ -696,6 +745,62 @@ func (w *World) completeCollectiveLocked(c *collective) {
 			w.states[i] = stateReady
 		}
 	}
+	w.emitCollectiveFlowsLocked(c)
+}
+
+// emitCollectiveFlowsLocked reports the causal edges of one completed
+// collective: each participant's entry flows INTO the fold site (the
+// last-arriving live rank, ties to the lowest id — the rank whose entry
+// clock determined the release), and the fold site flows back OUT to each
+// participant's resume point at releaseAt. Caller holds w.mu; the OnFlow
+// callback therefore must not call back into mpi. Emission never touches
+// any clock.
+func (w *World) emitCollectiveFlowsLocked(c *collective) {
+	onFlow := w.config.OnFlow
+	if onFlow == nil {
+		return
+	}
+	releaser := -1
+	for i := 0; i < w.n; i++ {
+		if !c.joined[i] || w.crashed[i] {
+			continue
+		}
+		if releaser < 0 || c.entries[i] > c.entries[releaser] {
+			releaser = i
+		}
+	}
+	if releaser < 0 {
+		return
+	}
+	for i := 0; i < w.n; i++ {
+		if !c.joined[i] || w.crashed[i] || i == releaser {
+			continue
+		}
+		w.seq++
+		onFlow(FlowEvent{
+			Kind:   FlowContrib,
+			Op:     c.op,
+			ID:     w.seq,
+			Batch:  c.batches[i],
+			Src:    i,
+			Dst:    releaser,
+			Bytes:  len(c.datas[i]),
+			SendAt: c.entries[i],
+			RecvAt: c.releaseAt,
+		})
+		w.seq++
+		onFlow(FlowEvent{
+			Kind:   FlowRelease,
+			Op:     c.op,
+			ID:     w.seq,
+			Batch:  c.batches[releaser],
+			Src:    releaser,
+			Dst:    i,
+			Bytes:  0,
+			SendAt: c.entries[releaser],
+			RecvAt: c.releaseAt,
+		})
+	}
 }
 
 // Failed reports whether the given rank has crashed. This is the simulated
@@ -740,6 +845,52 @@ func (r *Rank) ID() int { return r.id }
 // instrumented; the registry's instruments are nil-safe, so callers chain
 // r.Metrics().Counter(...).Inc() unconditionally).
 func (r *Rank) Metrics() *metrics.Registry { return r.world.config.Metrics }
+
+// SetTraceBatch sets the rank's query-batch trace context (-1 clears it).
+// Subsequent sends and collective entries are stamped with it; delivery of
+// a stamped envelope propagates the context to the receiver. Purely
+// observational: never advances any clock.
+func (r *Rank) SetTraceBatch(batch int) { r.traceBatch = batch }
+
+// TraceBatch returns the rank's current query-batch trace context (-1 =
+// none) — either set locally or adopted from the last stamped delivery.
+func (r *Rank) TraceBatch() int { return r.traceBatch }
+
+// flowOp names a message tag for flow edges: protocol tags keep their
+// number, the shuffle and tree-collective tag spaces collapse.
+func flowOp(tag int) string {
+	if tag >= ShuffleTagBase {
+		return "shuffle"
+	}
+	if tag >= CollTagBase {
+		return "coll"
+	}
+	return fmt.Sprintf("tag%02d", tag)
+}
+
+// deliverFlow adopts the envelope's trace context and reports the causal
+// edge for one delivered message. Called from the receiver's goroutine
+// after the delivery clock charges, outside the world lock.
+func (r *Rank) deliverFlow(m message) {
+	if m.batch >= 0 {
+		r.traceBatch = m.batch
+	}
+	onFlow := r.world.config.OnFlow
+	if onFlow == nil {
+		return
+	}
+	onFlow(FlowEvent{
+		Kind:   FlowMsg,
+		Op:     flowOp(m.tag),
+		ID:     m.seq,
+		Batch:  m.batch,
+		Src:    m.src,
+		Dst:    r.id,
+		Bytes:  len(m.data),
+		SendAt: m.sendAt,
+		RecvAt: r.clock.Now(),
+	})
+}
 
 // tagSeries maps a message tag to its metric series stem. Protocol tags
 // are small engine constants and keep their number; the collective-I/O
@@ -918,6 +1069,8 @@ func (r *Rank) Send(dst, tag int, data []byte) {
 		data:    data,
 		arrival: r.clock.Now() + w.cost.NetLatency,
 		seq:     w.seq,
+		batch:   r.traceBatch,
+		sendAt:  r.clock.Now(),
 	})
 	w.mu.Unlock()
 }
@@ -939,6 +1092,7 @@ func (r *Rank) Recv(src, tag int) (data []byte, from, gotTag int) {
 			w.mu.Unlock()
 			r.clock.AdvanceTo(m.arrival)
 			r.clock.Advance(float64(len(m.data)) / w.cost.NetBandwidth)
+			r.deliverFlow(m)
 			return m.data, m.src, m.tag
 		}
 		r.blockLocked(stateBlockedRecv)
@@ -977,6 +1131,7 @@ func (r *Rank) RecvTimeout(src, tag int, timeout float64) (data []byte, from, go
 			w.mu.Unlock()
 			r.clock.AdvanceTo(m.arrival)
 			r.clock.Advance(float64(len(m.data)) / w.cost.NetBandwidth)
+			r.deliverFlow(m)
 			return m.data, m.src, m.tag, nil
 		}
 		if src != AnySource && src >= 0 && src < w.n && w.crashed[src] {
@@ -1021,6 +1176,7 @@ func (r *Rank) TryRecv(src, tag int) (data []byte, from, gotTag int, ok bool) {
 	w.takeMessageLocked(r.id, m)
 	w.mu.Unlock()
 	r.clock.Advance(float64(len(m.data)) / w.cost.NetBandwidth)
+	r.deliverFlow(m)
 	return m.data, m.src, m.tag, true
 }
 
@@ -1054,7 +1210,14 @@ func (r *Rank) runCollective(op string, data []byte, release func(datas [][]byte
 	w.mu.Lock()
 	c := w.coll
 	if c == nil {
-		c = &collective{op: op, datas: make([][]byte, w.n), releaseFn: release}
+		c = &collective{
+			op:        op,
+			datas:     make([][]byte, w.n),
+			releaseFn: release,
+			entries:   make([]float64, w.n),
+			batches:   make([]int, w.n),
+			joined:    make([]bool, w.n),
+		}
 		w.coll = c
 	}
 	if c.op != op {
@@ -1062,6 +1225,9 @@ func (r *Rank) runCollective(op string, data []byte, release func(datas [][]byte
 		panic(fmt.Sprintf("mpi: rank %d entered collective %q while %q in progress", r.id, op, c.op))
 	}
 	c.datas[r.id] = data
+	c.entries[r.id] = r.clock.Now()
+	c.batches[r.id] = r.traceBatch
+	c.joined[r.id] = true
 	c.count++
 	w.collOf[r.id] = c
 	if c.count < w.liveCountLocked() {

@@ -242,12 +242,15 @@ func runConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 	if cfg.Comm == nil {
 		cfg.Comm = mpi.NewCommStats(nprocs)
 	}
+	// Per-query latency sink, filled by the master goroutine and read only
+	// after mpi.RunConfig returns (the run's WaitGroup is the barrier).
+	qlat := make([]float64, len(job.Queries))
 	clocks, err := mpi.RunConfig(nprocs, cfg, func(r *mpi.Rank) error {
 		if r.ID() == 0 {
 			if meta.Tree {
-				return runMasterTree(r, nodes[0], job, meta, opts, ft, ftTimeout)
+				return runMasterTree(r, nodes[0], job, meta, opts, ft, ftTimeout, qlat)
 			}
-			return runMaster(r, nodes[0], job, meta, opts, ft, ftTimeout)
+			return runMaster(r, nodes[0], job, meta, opts, ft, ftTimeout, qlat)
 		}
 		if meta.Tree {
 			return runWorkerTree(r, nodes[r.ID()], job.Options)
@@ -262,15 +265,19 @@ func runConfig(nodes []*vfs.Node, nprocs int, cfg mpi.Config, job *engine.Job, o
 		outBytes = f.Size()
 	}
 	res := engine.Summarize(clocks, outBytes)
+	res.QueryLatencies = qlat
 	res.CommBytes, res.ShuffleBytes, res.CollectiveBytes, res.CommMessages = cfg.Comm.Totals()
 	res.AddIOFaults(nodes)
 	return res, nil
 }
 
-func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, opts Options, ft bool, ftTimeout float64) error {
+func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, opts Options, ft bool, ftTimeout float64, qlat []float64) error {
 	r.SetPhase(simtime.PhaseOther)
 	r.Advance(r.Cost().SetupCost)
 	r.Bcast(0, engine.EncodeGob(meta))
+	// Admission: every query is "in the system" once the job metadata
+	// broadcast completes — the latency baseline for all queries.
+	admit := r.Clock().Now()
 
 	workers := r.Size() - 1
 	nFrags := len(meta.FragBases)
@@ -472,6 +479,9 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, opts 
 	}
 	var off int64
 	for qi, q := range job.Queries {
+		// The serialized merge handles one query at a time: stamp it as the
+		// trace context so the fetch round-trips it triggers carry it.
+		r.SetTraceBatch(qi)
 		// Concatenate this query's hits in fragment order — deterministic
 		// regardless of result arrival order or crash recovery (MergeHits
 		// imposes a total order anyway).
@@ -526,6 +536,11 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, opts 
 		r.FormatCost(int64(text.Len()) / 8) // header/summary/footer rendering
 		out.WriteAt(text.Bytes(), off)
 		off += int64(text.Len())
+		// The query's merged report is on disk: its end-to-end latency is
+		// settled on the master's clock.
+		lat := r.Clock().Now() - admit
+		qlat[qi] = lat
+		engine.RecordQueryLatency(r.Metrics(), r.ID(), lat)
 	}
 	for _, w := range alive {
 		r.Send(w, tagRelease, nil)

@@ -180,10 +180,13 @@ func decodeTreeAssign(data []byte) (frag int, alive []int, err error) {
 // fragment — results never travel during search), one sweep release
 // carrying the survivor membership, the tree reduction, and then the flat
 // baseline's render/fetch/write output stage over the merged selection.
-func runMasterTree(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, opts Options, ft bool, ftTimeout float64) error {
+func runMasterTree(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, opts Options, ft bool, ftTimeout float64, qlat []float64) error {
 	r.SetPhase(simtime.PhaseOther)
 	r.Advance(r.Cost().SetupCost)
 	r.Bcast(0, engine.EncodeGob(meta))
+	// Admission: every query is "in the system" once the job metadata
+	// broadcast completes — the latency baseline for all queries.
+	admit := r.Clock().Now()
 
 	workers := r.Size() - 1
 	nFrags := len(meta.FragBases)
@@ -354,6 +357,9 @@ func runMasterTree(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, o
 	}
 	var off int64
 	for qi, q := range job.Queries {
+		// One query at a time through the output loop: stamp it as the
+		// trace context so its fetch round-trips carry it.
+		r.SetTraceBatch(qi)
 		byOID := make(map[int]masterHit, len(res.Hits[qi]))
 		metas := make([]engine.HitMeta, 0, len(res.Hits[qi]))
 		for _, th := range res.Hits[qi] {
@@ -394,6 +400,11 @@ func runMasterTree(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, o
 		r.FormatCost(int64(len(text)) / 8)
 		out.WriteAt(text, off)
 		off += int64(len(text))
+		// The query's merged report is on disk: its end-to-end latency is
+		// settled on the master's clock.
+		lat := r.Clock().Now() - admit
+		qlat[qi] = lat
+		engine.RecordQueryLatency(r.Metrics(), r.ID(), lat)
 	}
 	for _, w := range alive {
 		r.Send(w, tagRelease, nil)

@@ -73,6 +73,40 @@ type RunSummary struct {
 	IOFaultedOps    int64          `json:"io_faulted_ops"`
 	IORetries       int64          `json:"io_retries"`
 	IOBackoff       float64        `json:"io_backoff_s"`
+	// QueryLatency summarizes per-query end-to-end latency (admission to
+	// result-merge completion) when the engine recorded it.
+	QueryLatency *LatencySummary `json:"query_latency,omitempty"`
+}
+
+// LatencySummary holds exact nearest-rank percentiles over the per-query
+// end-to-end latencies — deterministic (virtual-time derived), so the block
+// is byte-identical across repeated runs and SearchThreads settings.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_s"`
+	P95   float64 `json:"p95_s"`
+	P99   float64 `json:"p99_s"`
+	Max   float64 `json:"max_s"`
+}
+
+// LatencySummaryOf computes the exact percentile block from raw per-query
+// latencies; nil when none were recorded.
+func LatencySummaryOf(latencies []float64) *LatencySummary {
+	if len(latencies) == 0 {
+		return nil
+	}
+	ls := &LatencySummary{
+		Count: len(latencies),
+		P50:   metrics.ExactQuantile(latencies, 0.50),
+		P95:   metrics.ExactQuantile(latencies, 0.95),
+		P99:   metrics.ExactQuantile(latencies, 0.99),
+	}
+	for _, v := range latencies {
+		if v > ls.Max {
+			ls.Max = v
+		}
+	}
+	return ls
 }
 
 // SummaryOf flattens an engine result into the artifact's summary form.
@@ -89,6 +123,7 @@ func SummaryOf(res engine.RunResult) RunSummary {
 		IOFaultedOps:    res.IOFaultedOps,
 		IORetries:       res.IORetries,
 		IOBackoff:       res.IOBackoff,
+		QueryLatency:    LatencySummaryOf(res.QueryLatencies),
 	}
 }
 
@@ -117,13 +152,17 @@ type CriticalPath struct {
 
 // Run is the single-run artifact.
 type Run struct {
-	Version      int              `json:"version"`
-	Kind         string           `json:"kind"`
-	Info         RunInfo          `json:"info"`
-	Summary      RunSummary       `json:"summary"`
-	Ranks        []RankBreakdown  `json:"ranks"`
-	CriticalPath *CriticalPath    `json:"critical_path,omitempty"`
-	Metrics      metrics.Snapshot `json:"metrics"`
+	Version      int             `json:"version"`
+	Kind         string          `json:"kind"`
+	Info         RunInfo         `json:"info"`
+	Summary      RunSummary      `json:"summary"`
+	Ranks        []RankBreakdown `json:"ranks"`
+	CriticalPath *CriticalPath   `json:"critical_path,omitempty"`
+	// ExactPath is the flow-graph wait-for analysis (see waitfor.go),
+	// attached by callers that collected causal flows; the heuristic
+	// CriticalPath above is always present for comparison.
+	ExactPath *ExactPath       `json:"exact_critical_path,omitempty"`
+	Metrics   metrics.Snapshot `json:"metrics"`
 }
 
 // Build assembles the artifact for one finished run. reg may be nil (the

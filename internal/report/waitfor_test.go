@@ -1,0 +1,143 @@
+package report
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"parblast/internal/trace"
+)
+
+// waitForFixture builds a two-rank history with a known critical path:
+//
+//	rank 0: search [0,1]  idle [1,3]  output [3,4]   ← finish at 4
+//	rank 1: search [0,2.5]
+//	flow:   rank 1 → rank 0, sent 2.5, delivered 3, batch 2
+//
+// The exact path is output(1s, io) ← delivery(0.5s net) ← search(2.5s),
+// crossing to rank 1 exactly where the run serialized.
+func waitForFixture() *trace.Collector {
+	c := trace.NewCollector()
+	c.Record(0, "search", 0, 1)
+	c.Record(0, "idle", 1, 3)
+	c.Record(0, "output", 3, 4)
+	c.Record(1, "search", 0, 2.5)
+	c.RecordFlow(trace.Flow{
+		Kind: trace.FlowMsg, Op: "tag03", ID: 1, Batch: 2,
+		Src: 1, Dst: 0, Bytes: 100, SendAt: 2.5, RecvAt: 3,
+	})
+	return c
+}
+
+func TestExactCriticalPathCrossRank(t *testing.T) {
+	p := ExactCriticalPath(waitForFixture())
+	if p == nil {
+		t.Fatal("nil path")
+	}
+	if p.FinishRank != 0 || p.Finish != 4 {
+		t.Fatalf("anchor = rank %d @ %g, want rank 0 @ 4", p.FinishRank, p.Finish)
+	}
+	if p.Hops != 1 {
+		t.Fatalf("hops = %d, want 1", p.Hops)
+	}
+	want := BlameBreakdown{Net: 0.5, IO: 1, Search: 2.5}
+	if p.Blame != want {
+		t.Fatalf("blame = %+v, want %+v", p.Blame, want)
+	}
+	if p.Dominant != "search" {
+		t.Fatalf("dominant = %q, want search", p.Dominant)
+	}
+	if p.Unexplained != 0 || p.DroppedFlows != 0 {
+		t.Fatalf("unexplained=%g dropped=%d, want 0/0", p.Unexplained, p.DroppedFlows)
+	}
+	// The tiling invariant: blame accounts for every second of the path.
+	if got := p.Blame.Total(); math.Abs(got-(p.Finish-p.Unexplained)) > 1e-12 {
+		t.Fatalf("blame total %g does not tile finish %g", got, p.Finish)
+	}
+	// Batch attribution: the output span precedes any flow traversal
+	// (batch -1); net and the sender's search ride the flow's batch 2.
+	wantBatches := []BatchBlame{
+		{Batch: -1, Blame: BlameBreakdown{IO: 1}},
+		{Batch: 2, Blame: BlameBreakdown{Net: 0.5, Search: 2.5}},
+	}
+	if !reflect.DeepEqual(p.Batches, wantBatches) {
+		t.Fatalf("batches = %+v, want %+v", p.Batches, wantBatches)
+	}
+}
+
+// TestExactCriticalPathNoFlows: with no causal edges, an idle wait is blamed
+// on the peer entirely (it never sent anything) and the path stays on the
+// finish rank.
+func TestExactCriticalPathNoFlows(t *testing.T) {
+	c := trace.NewCollector()
+	c.Record(0, "idle", 0, 2)
+	c.Record(0, "output", 2, 3)
+	p := ExactCriticalPath(c)
+	if p == nil {
+		t.Fatal("nil path")
+	}
+	want := BlameBreakdown{PeerNotReady: 2, IO: 1}
+	if p.Blame != want || p.Hops != 0 {
+		t.Fatalf("blame = %+v hops = %d, want %+v hops 0", p.Blame, p.Hops, want)
+	}
+}
+
+// TestExactCriticalPathEmpty: nil collectors and span-free histories have
+// nothing to anchor the walk.
+func TestExactCriticalPathEmpty(t *testing.T) {
+	if p := ExactCriticalPath(nil); p != nil {
+		t.Fatalf("nil collector → %+v, want nil", p)
+	}
+	if p := ExactCriticalPath(trace.NewCollector()); p != nil {
+		t.Fatalf("empty collector → %+v, want nil", p)
+	}
+}
+
+// TestExactCriticalPathDeterministic: identical histories yield identical
+// paths, including the per-batch split ordering.
+func TestExactCriticalPathDeterministic(t *testing.T) {
+	a := ExactCriticalPath(waitForFixture())
+	b := ExactCriticalPath(waitForFixture())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("paths differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestExactCriticalPathDropsBadFlows: a corrupt (time-reversed) edge is
+// dropped rather than traversed, and the count surfaces in the artifact.
+func TestExactCriticalPathDropsBadFlows(t *testing.T) {
+	c := waitForFixture()
+	c.RecordFlow(trace.Flow{Kind: trace.FlowMsg, Op: "tag03", ID: 9,
+		Src: 1, Dst: 0, SendAt: 5, RecvAt: 2})
+	p := ExactCriticalPath(c)
+	if p.DroppedFlows != 1 {
+		t.Fatalf("dropped = %d, want 1", p.DroppedFlows)
+	}
+	if p.Blame != (BlameBreakdown{Net: 0.5, IO: 1, Search: 2.5}) {
+		t.Fatalf("blame changed by dropped edge: %+v", p.Blame)
+	}
+}
+
+func TestBlameDominantTieBreak(t *testing.T) {
+	// Equal io and search: name order picks "io".
+	b := BlameBreakdown{IO: 2, Search: 2}
+	if got := b.Dominant(); got != "io" {
+		t.Fatalf("dominant = %q, want io (name-ordered tie)", got)
+	}
+	if got := (BlameBreakdown{}).Dominant(); got != "io" {
+		t.Fatalf("all-zero dominant = %q, want io", got)
+	}
+}
+
+func TestLatencySummaryOf(t *testing.T) {
+	if ls := LatencySummaryOf(nil); ls != nil {
+		t.Fatalf("empty → %+v, want nil", ls)
+	}
+	ls := LatencySummaryOf([]float64{0.4, 0.1, 0.2, 0.3})
+	if ls.Count != 4 || ls.P50 != 0.2 || ls.P95 != 0.4 || ls.P99 != 0.4 || ls.Max != 0.4 {
+		t.Fatalf("summary = %+v", ls)
+	}
+	if !(ls.P50 <= ls.P95 && ls.P95 <= ls.P99 && ls.P99 <= ls.Max) {
+		t.Fatalf("percentiles not monotone: %+v", ls)
+	}
+}

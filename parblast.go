@@ -193,6 +193,7 @@ type Cluster struct {
 	nodes   []*vfs.Node
 	cost    simtime.CostModel
 	trace   *trace.Collector
+	flows   bool
 	metrics *metrics.Registry
 }
 
@@ -241,6 +242,18 @@ func (c *Cluster) Trace() *TraceCollector {
 		c.trace = trace.NewCollector()
 	}
 	return c.trace
+}
+
+// TraceFlows enables causal message-flow recording on top of Trace: every
+// delivered message and every collective contribution/release becomes a
+// flow edge in the collector, linking sends to recvs across ranks. The
+// Chrome exporter renders them as Perfetto flow arrows and the report
+// layer's wait-for analyzer computes the exact critical path from them.
+// Flow recording never advances virtual clocks: engine output is
+// byte-identical with flows on or off. Returns the collector.
+func (c *Cluster) TraceFlows() *TraceCollector {
+	c.flows = true
+	return c.Trace()
 }
 
 // Metrics enables unified telemetry for subsequent runs and returns the
@@ -349,6 +362,19 @@ func (c *Cluster) Run(eng Engine, s Search) (Result, error) {
 		cfg.OnFault = func(rank int, kind mpi.FaultKind, at float64) {
 			tr.RecordEventAttrs(rank, kind.String(), at,
 				map[string]string{"kind": kind.String(), "rank": fmt.Sprintf("%d", rank)})
+		}
+		if c.flows {
+			// Adapter, not an import: mpi reports plain FlowEvents and the
+			// façade maps them onto trace.Flow — mirroring Observer/OnFault.
+			// The callback may run under the mpi world lock (collective
+			// edges); RecordFlow only takes the collector's own mutex.
+			cfg.OnFlow = func(f mpi.FlowEvent) {
+				tr.RecordFlow(trace.Flow{
+					Kind: f.Kind, Op: f.Op, ID: f.ID, Batch: f.Batch,
+					Src: f.Src, Dst: f.Dst, Bytes: f.Bytes,
+					SendAt: f.SendAt, RecvAt: f.RecvAt,
+				})
+			}
 		}
 	}
 	switch eng {

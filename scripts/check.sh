@@ -30,6 +30,7 @@ go test -race ./...
 # panics in the wire codec and artifact reader without a long campaign.
 go test -run=- -fuzz=FuzzWireQueries -fuzztime=5s ./internal/engine
 go test -run=- -fuzz=FuzzReportParse -fuzztime=5s ./internal/report
+go test -run=- -fuzz=FuzzFlowGraph -fuzztime=5s ./internal/trace
 go test -run=- -bench=SearchFragment -benchtime=1x ./internal/blast
 go run ./examples/quickstart >/dev/null
 
@@ -44,6 +45,19 @@ go run ./cmd/parblast -db "$tmp/db.fasta" -query "$tmp/q.fasta" \
     -report "$tmp/run.json" -trace-out "$tmp/trace.json" >/dev/null
 go run ./scripts/validatereport -run "$tmp/run.json" -trace "$tmp/trace.json"
 
+# Latency/flow smoke: with -trace-flows the report carries the per-query
+# percentile block and the exact critical path, the Chrome trace carries
+# balanced flow-event pairs, and a repeated run reproduces the latency
+# block byte for byte (the determinism gate).
+go run ./cmd/parblast -db "$tmp/db.fasta" -query "$tmp/q.fasta" \
+    -engine pio -procs 4 -batch 2 -out "$tmp/results_lat.txt" -trace-flows \
+    -report "$tmp/lat1.json" -trace-out "$tmp/flows.json" >/dev/null
+go run ./cmd/parblast -db "$tmp/db.fasta" -query "$tmp/q.fasta" \
+    -engine pio -procs 4 -batch 2 -out "$tmp/results_lat2.txt" -trace-flows \
+    -report "$tmp/lat2.json" >/dev/null
+go run ./scripts/validatereport -run "$tmp/lat1.json" -trace "$tmp/flows.json" \
+    -latency -latency-second "$tmp/lat2.json"
+
 # Read-path smoke: the collective-read / prefetch experiment row must run
 # end to end on a scaled-down workload.
 go run ./cmd/benchsuite -exp readpath -dbseqs 120 -querybytes 1500 >/dev/null
@@ -51,6 +65,10 @@ go run ./cmd/benchsuite -exp readpath -dbseqs 120 -querybytes 1500 >/dev/null
 # Merge-scalability smoke: the flat-vs-tree merge sweep must run end to end
 # at small rank counts with byte-identical layouts across every fan-out.
 go run ./cmd/benchsuite -exp mergescale -mergescale-ranks 8,16 >/dev/null
+
+# Latency-experiment smoke: the ranks × protocols sweep must run end to
+# end on a scaled-down workload.
+go run ./cmd/benchsuite -exp latency -dbseqs 120 >/dev/null
 
 # I/O auto-tuning smoke: the tuned-vs-fixed study enforces its own gate
 # (tuned never regresses the fixed heuristics on any fs profile, strictly

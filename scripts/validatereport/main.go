@@ -7,12 +7,19 @@
 // Usage:
 //
 //	validatereport -run run.json [-trace trace.json] [-hints hints.json]
+//	               [-latency] [-latency-second other.json]
+//
+// -latency additionally gates the per-query latency block: the summary must
+// carry exact percentiles (count > 0, p50 ≤ p95 ≤ p99 ≤ max, all finite and
+// non-negative). With -latency-second, the block must be byte-identical to
+// the one in a second artifact from a repeated run — the determinism check.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"parblast/internal/metrics"
@@ -25,7 +32,7 @@ func fail(format string, args ...any) {
 	os.Exit(1)
 }
 
-func validateRun(path string) {
+func parseRunFile(path string) report.Run {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fail("%v", err)
@@ -34,6 +41,11 @@ func validateRun(path string) {
 	if err != nil {
 		fail("%s: %v", path, err)
 	}
+	return r
+}
+
+func validateRun(path string) report.Run {
+	r := parseRunFile(path)
 	if r.Summary.Wall <= 0 {
 		fail("%s: wall time %g is not positive", path, r.Summary.Wall)
 	}
@@ -48,6 +60,64 @@ func validateRun(path string) {
 	validateMetricsOrder(path, r.Metrics)
 	fmt.Printf("%s: ok (%s on %s, %d ranks, %d metric series)\n",
 		path, r.Info.Engine, r.Info.Platform, len(r.Ranks), len(r.Metrics.Counters)+len(r.Metrics.Gauges)+len(r.Metrics.Histograms))
+	return r
+}
+
+// validateLatency gates the per-query latency block: present, populated,
+// monotone percentiles, all finite and non-negative.
+func validateLatency(path string, r report.Run) {
+	ls := r.Summary.QueryLatency
+	if ls == nil {
+		fail("%s: summary has no query_latency block (run with per-query accounting?)", path)
+	}
+	if ls.Count <= 0 {
+		fail("%s: query_latency count %d is not positive", path, ls.Count)
+	}
+	for _, q := range []struct {
+		name string
+		v    float64
+	}{{"p50_s", ls.P50}, {"p95_s", ls.P95}, {"p99_s", ls.P99}, {"max_s", ls.Max}} {
+		if math.IsNaN(q.v) || math.IsInf(q.v, 0) || q.v < 0 {
+			fail("%s: query_latency %s = %g is not a finite non-negative duration", path, q.name, q.v)
+		}
+	}
+	if !(ls.P50 <= ls.P95 && ls.P95 <= ls.P99 && ls.P99 <= ls.Max) {
+		fail("%s: query_latency percentiles not monotone: p50=%g p95=%g p99=%g max=%g",
+			path, ls.P50, ls.P95, ls.P99, ls.Max)
+	}
+	if r.ExactPath != nil {
+		p := r.ExactPath
+		if p.Finish <= 0 {
+			fail("%s: exact_critical_path finish %g is not positive", path, p.Finish)
+		}
+		if got, want := p.Blame.Total(), p.Finish-p.Unexplained; math.Abs(got-want) > 1e-6 {
+			fail("%s: exact_critical_path blame does not tile the path: total=%g want=%g", path, got, want)
+		}
+	}
+	fmt.Printf("%s: latency ok (n=%d p50=%.3fs p95=%.3fs p99=%.3fs max=%.3fs)\n",
+		path, ls.Count, ls.P50, ls.P95, ls.P99, ls.Max)
+}
+
+// validateLatencyDeterminism requires the second artifact's latency block to
+// be byte-identical to the first's: same workload, same percentiles, bit for
+// bit — the repeated-run determinism contract.
+func validateLatencyDeterminism(path string, r report.Run, secondPath string) {
+	second := parseRunFile(secondPath)
+	if second.Summary.QueryLatency == nil {
+		fail("%s: summary has no query_latency block", secondPath)
+	}
+	a, err := json.Marshal(r.Summary.QueryLatency)
+	if err != nil {
+		fail("%s: %v", path, err)
+	}
+	b, err := json.Marshal(second.Summary.QueryLatency)
+	if err != nil {
+		fail("%s: %v", secondPath, err)
+	}
+	if string(a) != string(b) {
+		fail("latency blocks differ between runs:\n  %s: %s\n  %s: %s", path, a, secondPath, b)
+	}
+	fmt.Printf("%s vs %s: latency deterministic\n", path, secondPath)
 }
 
 // validateMetricsOrder enforces the snapshot's determinism contract: every
@@ -73,6 +143,9 @@ func validateMetricsOrder(path string, s metrics.Snapshot) {
 	checkSorted("histogram", len(s.Histograms), func(i int) (string, int) {
 		return s.Histograms[i].Name, s.Histograms[i].Rank
 	})
+	checkSorted("distribution", len(s.Distributions), func(i int) (string, int) {
+		return s.Distributions[i].Name, s.Distributions[i].Rank
+	})
 }
 
 func validateTrace(path string) {
@@ -84,6 +157,7 @@ func validateTrace(path string) {
 		TraceEvents []struct {
 			Name string `json:"name"`
 			Ph   string `json:"ph"`
+			ID   string `json:"id"`
 		} `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
@@ -92,16 +166,34 @@ func validateTrace(path string) {
 	if len(doc.TraceEvents) == 0 {
 		fail("%s: no trace events", path)
 	}
-	spans := 0
+	spans, flowStarts, flowEnds := 0, 0, 0
+	starts := make(map[string]bool)
 	for _, e := range doc.TraceEvents {
-		if e.Ph == "X" {
+		switch e.Ph {
+		case "X":
 			spans++
+		case "s":
+			flowStarts++
+			starts[e.ID] = true
+		}
+	}
+	// Every flow finish must pair with a start under the same id — a dangling
+	// "f" is an arrow Perfetto cannot draw.
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "f" {
+			flowEnds++
+			if !starts[e.ID] {
+				fail("%s: flow finish id %q has no matching start", path, e.ID)
+			}
 		}
 	}
 	if spans == 0 {
 		fail("%s: no complete ('X') span events", path)
 	}
-	fmt.Printf("%s: ok (%d events, %d spans)\n", path, len(doc.TraceEvents), spans)
+	if flowStarts != flowEnds {
+		fail("%s: unbalanced flow events: %d starts, %d finishes", path, flowStarts, flowEnds)
+	}
+	fmt.Printf("%s: ok (%d events, %d spans, %d flows)\n", path, len(doc.TraceEvents), spans, flowStarts)
 }
 
 // validateHints parses a learned-hints artifact (parblast -io-tune,
@@ -124,12 +216,23 @@ func main() {
 	runPath := flag.String("run", "", "run-report JSON to validate")
 	tracePath := flag.String("trace", "", "Chrome trace JSON to validate")
 	hintsPath := flag.String("hints", "", "learned-hints artifact JSON to validate")
+	latency := flag.Bool("latency", false, "with -run: require the per-query latency block (present, monotone percentiles)")
+	latencySecond := flag.String("latency-second", "", "with -latency: second run report whose latency block must match byte-for-byte")
 	flag.Parse()
 	if *runPath == "" && *tracePath == "" && *hintsPath == "" {
 		fail("nothing to validate: pass -run, -trace, and/or -hints")
 	}
+	if *latency && *runPath == "" {
+		fail("-latency requires -run")
+	}
 	if *runPath != "" {
-		validateRun(*runPath)
+		r := validateRun(*runPath)
+		if *latency {
+			validateLatency(*runPath, r)
+			if *latencySecond != "" {
+				validateLatencyDeterminism(*runPath, r, *latencySecond)
+			}
+		}
 	}
 	if *tracePath != "" {
 		validateTrace(*tracePath)
