@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|fig1a|fig1b|table1|table2|fig3a|fig3b|fig4|ablations|readpath|hetero|faults|mergescale|latency]
+//	benchsuite [-exp all|fig1a|fig1b|table1|table2|fig3a|fig3b|fig4|ablations|readpath|hetero|faults|mergescale|latency|sla]
 //	           [-dbseqs N] [-family N] [-querybytes N] [-mergescale-ranks 32,128]
 //	           [-report suite.json]
 //	benchsuite -kernelbench [-bench-out BENCH_1.json] [-mergescale]
@@ -116,6 +116,7 @@ const faultsTitle = "Fault tolerance: worker crash at mid-search + transient I/O
 const mergeScaleTitle = "Merge scalability: flat master-ingest vs hierarchical tree merge"
 const ioTuneTitle = "I/O auto-tuning: learned hints vs fixed heuristics"
 const latencyTitle = "Per-query latency and exact critical path (ranks × protocols)"
+const slaTitle = "Online serving: latency vs arrival rate, admission shedding (open-loop streams)"
 
 // latencySuiteRows flattens latency-sweep rows into the suite artifact's
 // row shape: the percentile block rides the summary's query_latency field,
@@ -179,6 +180,34 @@ func mergeScaleSuiteRows(rows []experiments.MergeScaleRow) []report.SuiteRow {
 	return out
 }
 
+// slaSuiteRows flattens serving-mode rows into the suite artifact's row
+// shape: the percentile block rides the summary's query_latency field and
+// the admission accounting rides the dedicated sla block.
+func slaSuiteRows(rows []experiments.SLARow) []report.SuiteRow {
+	out := make([]report.SuiteRow, 0, len(rows))
+	for _, r := range rows {
+		summary := report.SummaryOf(r.Result)
+		out = append(out, report.SuiteRow{
+			Label:   r.Label,
+			Engine:  r.Engine,
+			Procs:   r.Procs,
+			Summary: summary,
+			SLA: &report.SLAInfo{
+				Sweep:       r.Sweep,
+				ArrivalRate: r.Rate,
+				Burst:       r.Burst,
+				BatchMean:   r.BatchMean,
+				AdmitCap:    r.AdmitCap,
+				Arrivals:    r.Arrivals,
+				Admitted:    r.Admitted,
+				Shed:        r.Shed,
+				Saturated:   r.Shed > 0,
+			},
+		})
+	}
+	return out
+}
+
 // parseRankList parses a comma-separated rank-count list ("8,32").
 func parseRankList(s string) ([]int, error) {
 	if s == "" {
@@ -196,7 +225,7 @@ func parseRankList(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig1a, fig1b, table1, table2, fig3a, fig3b, fig4, ablations, readpath, hetero, faults, mergescale, iotune, latency")
+	exp := flag.String("exp", "all", "experiment to run: all, fig1a, fig1b, table1, table2, fig3a, fig3b, fig4, ablations, readpath, hetero, faults, mergescale, iotune, latency, sla")
 	hintsOut := flag.String("hints-out", "", "with -exp iotune (or all): write the learned-hints artifact to this path")
 	dbSeqs := flag.Int("dbseqs", 0, "override database sequence count")
 	family := flag.Int("family", 0, "override family size (database redundancy)")
@@ -311,6 +340,27 @@ func main() {
 		experiments.PrintLatencyRows(os.Stdout, latRows)
 		suite.Experiments = append(suite.Experiments, report.Experiment{
 			Name: "latency", Title: latencyTitle, Rows: latencySuiteRows(latRows),
+		})
+		slaRows, err := experiments.SLA(&lab)
+		if err != nil {
+			fail(fmt.Errorf("sla: %w", err))
+		}
+		experiments.PrintSLARows(os.Stdout, slaRows)
+		suite.Experiments = append(suite.Experiments, report.Experiment{
+			Name: "sla", Title: slaTitle, Rows: slaSuiteRows(slaRows),
+		})
+	case "sla":
+		// Serving-mode rows carry admission accounting and arrival-anchored
+		// percentile blocks (own row shape), so they bypass the generic
+		// printer. Every row is byte-identity-gated against a one-shot run
+		// over its admitted queries before it is reported.
+		rows, err := experiments.SLA(&lab)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintSLARows(os.Stdout, rows)
+		suite.Experiments = append(suite.Experiments, report.Experiment{
+			Name: "sla", Title: slaTitle, Rows: slaSuiteRows(rows),
 		})
 	case "latency":
 		// Latency rows carry percentile blocks and the exact critical path

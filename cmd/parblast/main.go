@@ -9,6 +9,7 @@
 //	         [-engine pio|mpi|seq] [-procs 32] [-platform altix|blade|ideal] \
 //	         [-fragments N] [-early-prune] [-independent-output] \
 //	         [-collective-read] [-prefetch N] [-dynamic] \
+//	         [-serve -arrival-rate R [-arrival-burst B] [-admit-cap N]] \
 //	         [-report run.json] [-trace-out trace.json] [-timeline]
 package main
 
@@ -51,6 +52,13 @@ func main() {
 	ioHints := flag.String("io-hints", "", "pioBLAST: load a learned-hints artifact (from -io-tune) and exploit it")
 	ioTune := flag.String("io-tune", "", "pioBLAST: run with the I/O auto-tuner and write the learned-hints artifact to this path")
 	crash := flag.String("crash", "", "inject a worker crash as RANK@TIME (e.g. 3@0.2); arms failure recovery")
+	serve := flag.Bool("serve", false, "streaming mode: keep the cluster warm and admit queries as an open-loop arrival stream (output byte-identical to a one-shot run over the admitted queries)")
+	arrivalRate := flag.Float64("arrival-rate", 1, "with -serve: mean batch arrivals per virtual second")
+	arrivalBurst := flag.Float64("arrival-burst", 0, "with -serve: MMPP burst factor (>1 alternates calm and bursty phases; 0 or 1 = plain Poisson)")
+	admitCap := flag.Int("admit-cap", 0, "with -serve: admission queue bound; batches arriving beyond it are deterministically shed (0 = unbounded)")
+	arrivalBatch := flag.Int("arrival-batch", 1, "with -serve: mean queries per arrival batch")
+	arrivalDist := flag.String("arrival-dist", "", "with -serve: batch-size distribution: fixed, uniform, or geometric (default fixed)")
+	arrivalSeed := flag.Int64("arrival-seed", 1, "with -serve: arrival-stream RNG seed")
 	reportPath := flag.String("report", "", "write a machine-readable JSON run report to this path")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable) to this path")
 	traceFlows := flag.Bool("trace-flows", false, "record causal message flows: Perfetto flow arrows in -trace-out and an exact wait-for critical path in -report")
@@ -220,9 +228,29 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown output format %q", *outfmt))
 	}
-	res, err := cluster.Run(eng, search)
-	if err != nil {
-		fail(err)
+	var res parblast.Result
+	var serveStats parblast.ServeStats
+	if *serve {
+		batches, err := parblast.Arrivals(queries, parblast.ArrivalConfig{
+			Rate:      *arrivalRate,
+			Burst:     *arrivalBurst,
+			BatchMean: *arrivalBatch,
+			BatchDist: *arrivalDist,
+			Seed:      *arrivalSeed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		res, serveStats, err = cluster.Serve(eng, search, batches, *admitCap)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		var err error
+		res, err = cluster.Run(eng, search)
+		if err != nil {
+			fail(err)
+		}
 	}
 	report, err := cluster.ReadOutput("results.out")
 	if err != nil {
@@ -239,6 +267,11 @@ func main() {
 		fmt.Printf("virtual time:  copy=%.2fs input=%.2fs search=%.2fs output=%.2fs other=%.2fs\n",
 			b.Copy, b.Input, b.Search, b.Output, b.Other)
 		fmt.Printf("total=%.2fs  search share=%.1f%%\n", res.Wall, res.SearchFraction()*100)
+		if *serve {
+			fmt.Printf("serving:       arrivals=%d admitted=%d shed=%d (rate=%g/s burst=%g cap=%d)\n",
+				serveStats.Arrivals, serveStats.Admitted, serveStats.Shed,
+				*arrivalRate, *arrivalBurst, *admitCap)
+		}
 		if ls := runreport.LatencySummaryOf(res.QueryLatencies); ls != nil {
 			fmt.Printf("query latency: n=%d p50=%.3fs p95=%.3fs p99=%.3fs max=%.3fs\n",
 				ls.Count, ls.P50, ls.P95, ls.P99, ls.Max)
@@ -264,6 +297,15 @@ func main() {
 			Queries:    len(queries),
 			DBSeqs:     db.NumSeqs,
 			DBResidues: db.TotalResidues,
+		}
+		if *serve {
+			info.Extra = map[string]string{
+				"serve":        "true",
+				"arrival_rate": fmt.Sprintf("%g", *arrivalRate),
+				"arrivals":     fmt.Sprintf("%d", serveStats.Arrivals),
+				"admitted":     fmt.Sprintf("%d", serveStats.Admitted),
+				"shed":         fmt.Sprintf("%d", serveStats.Shed),
+			}
 		}
 		doc := runreport.Build(info, res, registry)
 		if *traceFlows {

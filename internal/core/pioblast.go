@@ -192,6 +192,9 @@ type jobMeta struct {
 	TreeFanout int
 	// IOHints is applied to every shared-file handle a rank opens.
 	IOHints mpiio.Hints
+	// Serve marks a streaming run: Queries is empty, and each batch's
+	// queries arrive in a per-batch broadcast instead (see serve.go).
+	Serve bool
 }
 
 // batchMetas is one worker's result metadata for a batch of queries.
@@ -665,11 +668,46 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, index
 	}
 	dbInfo := blast.DBInfo{Title: meta.Title, NumSeqs: meta.NumSeqs, TotalLen: meta.TotalLen}
 
-	// recvWorker receives from one worker; under fault tolerance a crash
-	// during the output phase is unrecoverable (the dead worker's cached
-	// blocks are gone and the layout is already partly written), so it is
-	// reported as a clean error instead of a deadlock.
-	recvWorker := func(w, tag int) ([]byte, error) {
+	recvWorker := recvWorkerFn(r, meta)
+
+	bounds := fixedBounds(len(job.Queries), meta.QueryBatch)
+	if meta.MemBudget > 0 {
+		r.SetPhase(simtime.PhaseIdle)
+		volumes := exchangeVolumes(r, make([]int64, len(job.Queries)))
+		bounds = adaptiveBounds(volumes, meta.MemBudget)
+	}
+	mb := &masterBatch{
+		r: r, meta: meta, renderOpts: job.Options, searcher: searcher,
+		maxTargets: maxTargets, dbInfo: dbInfo, out: out,
+	}
+	batchIdx := -1
+	err = runBatches(bounds, func(q0, q1 int) error {
+		// Stamp the batch ordinal as the trace context: every envelope the
+		// master sends for this batch carries it, and receivers propagate it.
+		batchIdx++
+		r.SetTraceBatch(batchIdx)
+		return mb.mergeBatch(job.Queries, q0, q1, alive, recvWorker, func(q int) {
+			// The query's results are now globally merged and laid out:
+			// its end-to-end latency is settled on the master's clock.
+			lat := r.Clock().Now() - admit
+			qlat[q] = lat
+			engine.RecordQueryLatency(r.Metrics(), r.ID(), lat)
+		})
+	})
+	if err != nil {
+		return err
+	}
+	r.SetPhase(simtime.PhaseOther)
+	r.Barrier()
+	return nil
+}
+
+// recvWorkerFn builds the master's receive primitive: under fault
+// tolerance a crash during the output phase is unrecoverable (the dead
+// worker's cached blocks are gone and the layout is already partly
+// written), so it is reported as a clean error instead of a deadlock.
+func recvWorkerFn(r *mpi.Rank, meta jobMeta) func(w, tag int) ([]byte, error) {
+	return func(w, tag int) ([]byte, error) {
 		if !meta.FT {
 			data, _, _ := r.Recv(w, tag)
 			return data, nil
@@ -684,161 +722,163 @@ func runMaster(r *mpi.Rank, node *vfs.Node, job *engine.Job, meta jobMeta, index
 			}
 		}
 	}
+}
 
-	bounds := fixedBounds(len(job.Queries), meta.QueryBatch)
-	if meta.MemBudget > 0 {
-		r.SetPhase(simtime.PhaseIdle)
-		volumes := exchangeVolumes(r, make([]int64, len(job.Queries)))
-		bounds = adaptiveBounds(volumes, meta.MemBudget)
-	}
-	var off int64
-	batchIdx := -1
-	err = runBatches(bounds, func(q0, q1 int) error {
-		// Stamp the batch ordinal as the trace context: every envelope the
-		// master sends for this batch carries it, and receivers propagate it.
-		batchIdx++
-		r.SetTraceBatch(batchIdx)
-		// While the workers finish this batch, the master is parked.
-		r.SetPhase(simtime.PhaseIdle)
-		if meta.EarlyPrune {
-			for q := q0; q < q1; q++ {
-				exchangeThreshold(r, nil, maxTargets) // participate, contribute nothing
-			}
-		}
-		// Collect the per-query metadata: either the flat per-worker
-		// streams (baseline) or one hierarchical tree reduction whose
-		// result is already the globally merged selection.
-		var treeMerged []engine.QueryMeta
-		perWorker := make([]batchMetas, workers+1)
-		if meta.Tree {
-			members := treeMembers(alive)
-			// The master contributes an identity bundle covering every
-			// query, so the fold always yields the full batch range.
-			id := batchMetas{FirstQuery: q0}
-			for q := q0; q < q1; q++ {
-				id.PerQuery = append(id.PerQuery, engine.QueryMeta{QueryIndex: q})
-			}
-			var combErr error
-			combined, contributors, err := r.TreeReduce(0, meta.TreeFanout, members, id.encode(), treeCombiner(r, maxTargets, &combErr))
-			if err != nil {
-				return err
-			}
-			if combErr != nil {
-				return combErr
-			}
-			r.SetPhase(simtime.PhaseOutput)
-			if len(contributors) != len(members) {
-				// A member crashed mid-merge: its cached blocks are gone
-				// and its hits are unrecoverable. Tell the survivors to
-				// stand down (the abort marker), then fail cleanly —
-				// matching the flat path's output-phase contract.
-				r.TreeBcast(0, meta.TreeFanout, members, encodeSelectionBundle(false, nil, nil))
-				return fmt.Errorf("core: worker crashed during the hierarchical merge; recovery only covers the search phase")
-			}
-			bm, err := decodeBatchMetas(combined)
-			if err != nil {
-				return err
-			}
-			if len(bm.PerQuery) != q1-q0 {
-				return fmt.Errorf("core: tree merge returned %d queries, want %d", len(bm.PerQuery), q1-q0)
-			}
-			treeMerged = bm.PerQuery
-		} else {
-			for _, w := range alive {
-				data, err := recvWorker(w, tagResults)
-				if err != nil {
-					return err
-				}
-				bm, err := decodeBatchMetas(data)
-				if err != nil {
-					return err
-				}
-				perWorker[w] = bm
-			}
-		}
+// masterBatch carries the master's cross-batch merge state: the open
+// output file and the running layout offset persist across batches (and,
+// in the serving mode, across admitted stream batches).
+type masterBatch struct {
+	r          *mpi.Rank
+	meta       jobMeta
+	renderOpts blast.Options
+	searcher   *blast.Searcher
+	maxTargets int
+	dbInfo     blast.DBInfo
+	out        *mpiio.File
+	off        int64
+}
 
-		// Merge metadata and lay out the output file (§3.3, Figure 2).
-		r.SetPhase(simtime.PhaseOutput)
-		sel := make([]selection, workers+1)
-		var masterData []byte
-		var view mpiio.View
+// mergeBatch runs the master side of one batch over queries[q0:q1]:
+// early-prune participation, metadata collection (flat per-worker streams
+// or one hierarchical tree reduction), the global merge and output-file
+// layout (§3.3, Figure 2), the selection send-back, and the collective
+// write. onQueryDone fires as each query's merge completes, on the
+// master's clock — the caller owns the latency baseline. Shared verbatim
+// by the one-shot run and the serving loop, which is what makes streamed
+// output byte-identical to the one-shot oracle.
+func (mb *masterBatch) mergeBatch(queries []*seq.Sequence, q0, q1 int, alive []int, recvWorker func(w, tag int) ([]byte, error), onQueryDone func(q int)) error {
+	r, meta := mb.r, mb.meta
+	workers := r.Size() - 1
+	// While the workers finish this batch, the master is parked.
+	r.SetPhase(simtime.PhaseIdle)
+	if meta.EarlyPrune {
 		for q := q0; q < q1; q++ {
-			var merged []engine.HitMeta
-			var work blast.WorkCounters
-			if meta.Tree {
-				// The reduction already applied the global selection rule;
-				// the master only lays out the file.
-				merged = treeMerged[q-q0].Hits
-				work = treeMerged[q-q0].Work
-			} else {
-				var all []engine.HitMeta
-				for _, w := range alive {
-					qm := perWorker[w].PerQuery[q-q0]
-					all = append(all, qm.Hits...)
-					work.Add(qm.Work)
-				}
-				r.Advance(float64(len(all)) * r.Cost().MergeItemCost)
-				merged = engine.MergeHits(all, maxTargets)
-				engine.RecordMerge(r.Metrics(), r.ID(), len(all), len(merged))
-			}
-
-			query := job.Queries[q]
-			header := blast.RenderHeader(job.Options.OutFormat, meta.Kind, query, dbInfo)
-			summary := blast.RenderSummary(job.Options.OutFormat, engine.SummaryResults(merged))
-			space := engine.SearchSpaceFor(searcher, query.Len(), meta.TotalLen, meta.NumSeqs)
-			footer := blast.RenderFooter(job.Options.OutFormat, searcher.GappedParams(), space, work)
-			r.FormatCost(int64(len(header)+len(summary)+len(footer)) / 8)
-
-			headOff := off
-			cur := off + int64(len(header)+len(summary))
-			for _, h := range merged {
-				s := &sel[h.Worker]
-				s.Queries = append(s.Queries, q)
-				s.OIDs = append(s.OIDs, h.OID)
-				s.Offsets = append(s.Offsets, cur)
-				s.Lengths = append(s.Lengths, h.BlockSize)
-				cur += h.BlockSize
-			}
-			masterData = append(masterData, header...)
-			masterData = append(masterData, summary...)
-			masterData = append(masterData, footer...)
-			view.Segments = append(view.Segments,
-				mpiio.Segment{Offset: headOff, Length: int64(len(header) + len(summary))},
-				mpiio.Segment{Offset: cur, Length: int64(len(footer))})
-			off = cur + int64(len(footer))
-			// The query's results are now globally merged and laid out:
-			// its end-to-end latency is settled on the master's clock.
-			lat := r.Clock().Now() - admit
-			qlat[q] = lat
-			engine.RecordQueryLatency(r.Metrics(), r.ID(), lat)
+			exchangeThreshold(r, nil, mb.maxTargets) // participate, contribute nothing
 		}
-		if meta.Tree {
-			// Layout broadcast down the tree (§3.3): one bundle holding
-			// every worker's selection instead of N point-to-point sends.
-			r.TreeBcast(0, meta.TreeFanout, treeMembers(alive), encodeSelectionBundle(true, sel, alive))
-		} else {
-			for _, w := range alive {
-				r.Send(w, tagSelect, sel[w].encode())
-			}
+	}
+	// Collect the per-query metadata: either the flat per-worker
+	// streams (baseline) or one hierarchical tree reduction whose
+	// result is already the globally merged selection.
+	var treeMerged []engine.QueryMeta
+	perWorker := make([]batchMetas, workers+1)
+	if meta.Tree {
+		members := treeMembers(alive)
+		// The master contributes an identity bundle covering every
+		// query, so the fold always yields the full batch range.
+		id := batchMetas{FirstQuery: q0}
+		for q := q0; q < q1; q++ {
+			id.PerQuery = append(id.PerQuery, engine.QueryMeta{QueryIndex: q})
 		}
-		if err := out.SetView(view); err != nil {
+		var combErr error
+		combined, contributors, err := r.TreeReduce(0, meta.TreeFanout, members, id.encode(), treeCombiner(r, mb.maxTargets, &combErr))
+		if err != nil {
 			return err
 		}
-		if meta.Independent {
-			if err := out.WriteIndependent(masterData); err != nil {
+		if combErr != nil {
+			return combErr
+		}
+		r.SetPhase(simtime.PhaseOutput)
+		if len(contributors) != len(members) {
+			// A member crashed mid-merge: its cached blocks are gone
+			// and its hits are unrecoverable. Tell the survivors to
+			// stand down (the abort marker), then fail cleanly —
+			// matching the flat path's output-phase contract.
+			r.TreeBcast(0, meta.TreeFanout, members, encodeSelectionBundle(false, nil, nil))
+			return fmt.Errorf("core: worker crashed during the hierarchical merge; recovery only covers the search phase")
+		}
+		bm, err := decodeBatchMetas(combined)
+		if err != nil {
+			return err
+		}
+		if len(bm.PerQuery) != q1-q0 {
+			return fmt.Errorf("core: tree merge returned %d queries, want %d", len(bm.PerQuery), q1-q0)
+		}
+		treeMerged = bm.PerQuery
+	} else {
+		for _, w := range alive {
+			data, err := recvWorker(w, tagResults)
+			if err != nil {
 				return err
 			}
-			r.Barrier()
-			return nil
+			bm, err := decodeBatchMetas(data)
+			if err != nil {
+				return err
+			}
+			perWorker[w] = bm
 		}
-		return out.WriteCollective(masterData)
-	})
-	if err != nil {
+	}
+
+	// Merge metadata and lay out the output file (§3.3, Figure 2).
+	r.SetPhase(simtime.PhaseOutput)
+	sel := make([]selection, workers+1)
+	var masterData []byte
+	var view mpiio.View
+	for q := q0; q < q1; q++ {
+		var merged []engine.HitMeta
+		var work blast.WorkCounters
+		if meta.Tree {
+			// The reduction already applied the global selection rule;
+			// the master only lays out the file.
+			merged = treeMerged[q-q0].Hits
+			work = treeMerged[q-q0].Work
+		} else {
+			var all []engine.HitMeta
+			for _, w := range alive {
+				qm := perWorker[w].PerQuery[q-q0]
+				all = append(all, qm.Hits...)
+				work.Add(qm.Work)
+			}
+			r.Advance(float64(len(all)) * r.Cost().MergeItemCost)
+			merged = engine.MergeHits(all, mb.maxTargets)
+			engine.RecordMerge(r.Metrics(), r.ID(), len(all), len(merged))
+		}
+
+		query := queries[q]
+		header := blast.RenderHeader(mb.renderOpts.OutFormat, meta.Kind, query, mb.dbInfo)
+		summary := blast.RenderSummary(mb.renderOpts.OutFormat, engine.SummaryResults(merged))
+		space := engine.SearchSpaceFor(mb.searcher, query.Len(), meta.TotalLen, meta.NumSeqs)
+		footer := blast.RenderFooter(mb.renderOpts.OutFormat, mb.searcher.GappedParams(), space, work)
+		r.FormatCost(int64(len(header)+len(summary)+len(footer)) / 8)
+
+		headOff := mb.off
+		cur := mb.off + int64(len(header)+len(summary))
+		for _, h := range merged {
+			s := &sel[h.Worker]
+			s.Queries = append(s.Queries, q)
+			s.OIDs = append(s.OIDs, h.OID)
+			s.Offsets = append(s.Offsets, cur)
+			s.Lengths = append(s.Lengths, h.BlockSize)
+			cur += h.BlockSize
+		}
+		masterData = append(masterData, header...)
+		masterData = append(masterData, summary...)
+		masterData = append(masterData, footer...)
+		view.Segments = append(view.Segments,
+			mpiio.Segment{Offset: headOff, Length: int64(len(header) + len(summary))},
+			mpiio.Segment{Offset: cur, Length: int64(len(footer))})
+		mb.off = cur + int64(len(footer))
+		onQueryDone(q)
+	}
+	if meta.Tree {
+		// Layout broadcast down the tree (§3.3): one bundle holding
+		// every worker's selection instead of N point-to-point sends.
+		r.TreeBcast(0, meta.TreeFanout, treeMembers(alive), encodeSelectionBundle(true, sel, alive))
+	} else {
+		for _, w := range alive {
+			r.Send(w, tagSelect, sel[w].encode())
+		}
+	}
+	if err := mb.out.SetView(view); err != nil {
 		return err
 	}
-	r.SetPhase(simtime.PhaseOther)
-	r.Barrier()
-	return nil
+	if meta.Independent {
+		if err := mb.out.WriteIndependent(masterData); err != nil {
+			return err
+		}
+		r.Barrier()
+		return nil
+	}
+	return mb.out.WriteCollective(masterData)
 }
 
 // reapDead removes crashed workers from the alive list, reclaiming their
@@ -925,6 +965,10 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options, tuner *mpiio.Tun
 	var meta jobMeta
 	if err := engine.DecodeGob(r.Bcast(0, nil), &meta); err != nil {
 		return err
+	}
+	if meta.Serve {
+		// Streaming run: queries arrive per batch; partitions stay warm.
+		return runServeWorker(r, node, meta, opts, tuner)
 	}
 	wq, err := engine.DecodeWireQueries(meta.Queries)
 	if err != nil {
@@ -1179,117 +1223,7 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options, tuner *mpiio.Tun
 	err = runBatches(bounds, func(q0, q1 int) error {
 		workerBatch++
 		r.SetTraceBatch(workerBatch)
-		r.SetPhase(simtime.PhaseOutput)
-		// Consolidate each query's hits across this worker's parts.
-		for q := q0; q < q1; q++ {
-			blast.SortHits(st.hits[q])
-			if len(st.hits[q]) > maxTargets {
-				st.hits[q] = st.hits[q][:maxTargets]
-			}
-		}
-		if meta.EarlyPrune {
-			for q := q0; q < q1; q++ {
-				scores := make([]int64, 0, len(st.hits[q]))
-				for _, h := range st.hits[q] {
-					scores = append(scores, int64(h.BestScore()))
-				}
-				threshold := exchangeThreshold(r, scores, maxTargets)
-				kept := st.hits[q][:0]
-				for _, h := range st.hits[q] {
-					if int64(h.BestScore()) >= threshold {
-						kept = append(kept, h)
-					}
-				}
-				st.hits[q] = kept
-			}
-		}
-		// Result caching (§3.2): render candidate blocks into memory and
-		// submit metadata only.
-		blocks := make(map[[2]int][]byte)
-		bm := batchMetas{FirstQuery: q0}
-		for q := q0; q < q1; q++ {
-			qm := engine.QueryMeta{QueryIndex: q, Work: st.work[q]}
-			for _, hit := range st.hits[q] {
-				subj := st.frag.Subjects[st.byOID[hit.OID]].Residues
-				block := []byte(blast.RenderHit(opts.OutFormat, queries[q], subj, hit, opts.Matrix))
-				r.FormatCost(int64(len(block)))
-				blocks[[2]int{q, hit.OID}] = block
-				qm.Hits = append(qm.Hits, engine.MetaFromResult(r.ID(), hit, int64(len(block))))
-			}
-			bm.PerQuery = append(bm.PerQuery, qm)
-		}
-		r.Metrics().Counter("engine.blocks_rendered", r.ID()).Add(int64(len(blocks)))
-		var sel selection
-		if meta.Tree {
-			// Hierarchical merge: fold this worker's metadata into the
-			// k-ary reduction (pre-merging the group's bundles locally)
-			// and take the layout from the down-tree broadcast.
-			members := treeMembers(aliveWorkers)
-			var combErr error
-			if _, _, err := r.TreeReduce(0, meta.TreeFanout, members, bm.encode(), treeCombiner(r, maxTargets, &combErr)); err != nil {
-				return err
-			}
-			if combErr != nil {
-				return combErr
-			}
-			r.SetPhase(simtime.PhaseIdle)
-			layout := r.TreeBcast(0, meta.TreeFanout, members, nil)
-			s, ok, err := decodeSelectionBundle(layout, r.ID())
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return fmt.Errorf("core: merge aborted: a peer crashed during the hierarchical merge")
-			}
-			sel = s
-			r.SetPhase(simtime.PhaseOutput)
-		} else {
-			r.Send(0, tagResults, bm.encode())
-
-			// Selection: assemble the chosen blocks in offset order and
-			// write.
-			data, _, _ := r.Recv(0, tagSelect)
-			s, err := decodeSelection(data)
-			if err != nil {
-				return err
-			}
-			sel = s
-		}
-		idx := make([]int, len(sel.OIDs))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.Slice(idx, func(a, b int) bool { return sel.Offsets[idx[a]] < sel.Offsets[idx[b]] })
-		var view mpiio.View
-		var buf []byte
-		for _, i := range idx {
-			key := [2]int{sel.Queries[i], sel.OIDs[i]}
-			block, ok := blocks[key]
-			if !ok {
-				r.Metrics().Counter("engine.cache_misses", r.ID()).Inc()
-				return fmt.Errorf("core: master selected unknown hit q=%d OID=%d", key[0], key[1])
-			}
-			r.Metrics().Counter("engine.cache_hits", r.ID()).Inc()
-			if int64(len(block)) != sel.Lengths[i] {
-				return fmt.Errorf("core: block size mismatch for q=%d OID=%d: %d vs %d",
-					key[0], key[1], len(block), sel.Lengths[i])
-			}
-			view.Segments = append(view.Segments, mpiio.Segment{Offset: sel.Offsets[i], Length: sel.Lengths[i]})
-			buf = append(buf, block...)
-			r.MemCopy(int64(len(block)))
-		}
-		r.Metrics().Counter("engine.blocks_dropped", r.ID()).Add(int64(len(blocks) - len(idx)))
-		if err := outFile.SetView(view); err != nil {
-			return err
-		}
-		if meta.Independent {
-			if err := outFile.WriteIndependent(buf); err != nil {
-				return err
-			}
-			r.Barrier()
-			return nil
-		}
-		return outFile.WriteCollective(buf)
+		return workerOutputBatch(r, meta, opts, maxTargets, outFile, queries, q0, q1, st, aliveWorkers)
 	})
 	if err != nil {
 		return err
@@ -1297,6 +1231,125 @@ func runWorker(r *mpi.Rank, node *vfs.Node, opts blast.Options, tuner *mpiio.Tun
 	r.SetPhase(simtime.PhaseOther)
 	r.Barrier()
 	return nil
+}
+
+// workerOutputBatch runs the worker side of one batch's merge/output over
+// queries[q0:q1]: local hit consolidation, optional early-prune exchange,
+// result-caching block rendering (§3.2), metadata submission (flat or
+// tree), and the selection-ordered collective write (§3.3). Shared
+// verbatim by the one-shot run and the serving loop.
+func workerOutputBatch(r *mpi.Rank, meta jobMeta, opts blast.Options, maxTargets int, outFile *mpiio.File, queries []*seq.Sequence, q0, q1 int, st *workerState, aliveWorkers []int) error {
+	r.SetPhase(simtime.PhaseOutput)
+	// Consolidate each query's hits across this worker's parts.
+	for q := q0; q < q1; q++ {
+		blast.SortHits(st.hits[q])
+		if len(st.hits[q]) > maxTargets {
+			st.hits[q] = st.hits[q][:maxTargets]
+		}
+	}
+	if meta.EarlyPrune {
+		for q := q0; q < q1; q++ {
+			scores := make([]int64, 0, len(st.hits[q]))
+			for _, h := range st.hits[q] {
+				scores = append(scores, int64(h.BestScore()))
+			}
+			threshold := exchangeThreshold(r, scores, maxTargets)
+			kept := st.hits[q][:0]
+			for _, h := range st.hits[q] {
+				if int64(h.BestScore()) >= threshold {
+					kept = append(kept, h)
+				}
+			}
+			st.hits[q] = kept
+		}
+	}
+	// Result caching (§3.2): render candidate blocks into memory and
+	// submit metadata only.
+	blocks := make(map[[2]int][]byte)
+	bm := batchMetas{FirstQuery: q0}
+	for q := q0; q < q1; q++ {
+		qm := engine.QueryMeta{QueryIndex: q, Work: st.work[q]}
+		for _, hit := range st.hits[q] {
+			subj := st.frag.Subjects[st.byOID[hit.OID]].Residues
+			block := []byte(blast.RenderHit(opts.OutFormat, queries[q], subj, hit, opts.Matrix))
+			r.FormatCost(int64(len(block)))
+			blocks[[2]int{q, hit.OID}] = block
+			qm.Hits = append(qm.Hits, engine.MetaFromResult(r.ID(), hit, int64(len(block))))
+		}
+		bm.PerQuery = append(bm.PerQuery, qm)
+	}
+	r.Metrics().Counter("engine.blocks_rendered", r.ID()).Add(int64(len(blocks)))
+	var sel selection
+	if meta.Tree {
+		// Hierarchical merge: fold this worker's metadata into the
+		// k-ary reduction (pre-merging the group's bundles locally)
+		// and take the layout from the down-tree broadcast.
+		members := treeMembers(aliveWorkers)
+		var combErr error
+		if _, _, err := r.TreeReduce(0, meta.TreeFanout, members, bm.encode(), treeCombiner(r, maxTargets, &combErr)); err != nil {
+			return err
+		}
+		if combErr != nil {
+			return combErr
+		}
+		r.SetPhase(simtime.PhaseIdle)
+		layout := r.TreeBcast(0, meta.TreeFanout, members, nil)
+		s, ok, err := decodeSelectionBundle(layout, r.ID())
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("core: merge aborted: a peer crashed during the hierarchical merge")
+		}
+		sel = s
+		r.SetPhase(simtime.PhaseOutput)
+	} else {
+		r.Send(0, tagResults, bm.encode())
+
+		// Selection: assemble the chosen blocks in offset order and
+		// write.
+		data, _, _ := r.Recv(0, tagSelect)
+		s, err := decodeSelection(data)
+		if err != nil {
+			return err
+		}
+		sel = s
+	}
+	idx := make([]int, len(sel.OIDs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return sel.Offsets[idx[a]] < sel.Offsets[idx[b]] })
+	var view mpiio.View
+	var buf []byte
+	for _, i := range idx {
+		key := [2]int{sel.Queries[i], sel.OIDs[i]}
+		block, ok := blocks[key]
+		if !ok {
+			r.Metrics().Counter("engine.cache_misses", r.ID()).Inc()
+			return fmt.Errorf("core: master selected unknown hit q=%d OID=%d", key[0], key[1])
+		}
+		r.Metrics().Counter("engine.cache_hits", r.ID()).Inc()
+		if int64(len(block)) != sel.Lengths[i] {
+			return fmt.Errorf("core: block size mismatch for q=%d OID=%d: %d vs %d",
+				key[0], key[1], len(block), sel.Lengths[i])
+		}
+		view.Segments = append(view.Segments, mpiio.Segment{Offset: sel.Offsets[i], Length: sel.Lengths[i]})
+		buf = append(buf, block...)
+		r.MemCopy(int64(len(block)))
+	}
+	r.Metrics().Counter("engine.blocks_dropped", r.ID()).Add(int64(len(blocks) - len(idx)))
+	if err := outFile.SetView(view); err != nil {
+		return err
+	}
+	if meta.Independent {
+		if err := outFile.WriteIndependent(buf); err != nil {
+			return err
+		}
+		r.Barrier()
+		return nil
+	}
+	return outFile.WriteCollective(buf)
 }
 
 // fixedBounds builds the boundary list for fixed-size batches. Zero

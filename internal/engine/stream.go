@@ -1,0 +1,106 @@
+package engine
+
+// Streaming admission control for the serving mode: an open-loop arrival
+// sequence meets a single-dispatch server (the warm cluster runs one batch
+// at a time), mediated by a bounded FIFO queue with deterministic
+// drop-newest overload shedding.
+//
+// The model is intentionally minimal so its behavior is provable: the
+// server calls Next each time it becomes free at virtual time `now`; the
+// queue replays every arrival with time ≤ now in arrival order, shedding
+// any batch that arrives while the queue already holds Capacity waiting
+// entries. Between two Next calls the queue only grows, so occupancy at
+// each arrival instant — and therefore the shed set — is a pure function
+// of the arrival times and the dispatch times, independent of host
+// scheduling. That is what lets the SLA experiments pin "which batches
+// were shed" byte-for-byte.
+
+// Admission is the bounded admission queue. Not safe for concurrent use;
+// the serving master owns it.
+type Admission struct {
+	arrivals []float64
+	capacity int
+	next     int   // first arrival index not yet enqueued or shed
+	queue    []int // admitted batches waiting for dispatch, FIFO
+	shed     []int // arrival indices dropped at their arrival instant
+}
+
+// NewAdmission builds a queue over the given arrival times (must be
+// non-decreasing, as produced by workload.Arrivals). capacity bounds the
+// number of batches waiting for dispatch; 0 means unbounded.
+func NewAdmission(arrivals []float64, capacity int) *Admission {
+	return &Admission{arrivals: arrivals, capacity: capacity}
+}
+
+// admitUpTo replays arrivals with time ≤ now into the queue, shedding on
+// overflow (drop-newest: the arriving batch is the one dropped).
+func (a *Admission) admitUpTo(now float64) {
+	for a.next < len(a.arrivals) && a.arrivals[a.next] <= now {
+		if a.capacity > 0 && len(a.queue) >= a.capacity {
+			a.shed = append(a.shed, a.next)
+		} else {
+			a.queue = append(a.queue, a.next)
+		}
+		a.next++
+	}
+}
+
+// Next returns the next batch to dispatch when the server becomes free at
+// virtual time now: the queue head if any batch is waiting, otherwise the
+// next future arrival (the server idles until it lands — its dispatch time
+// is its arrival time). ok is false when the stream is exhausted. The
+// returned arrival time is the batch's admission clock — latency baselines
+// measure from it, never from the dispatch.
+func (a *Admission) Next(now float64) (batch int, arrival float64, ok bool) {
+	a.admitUpTo(now)
+	if len(a.queue) > 0 {
+		batch = a.queue[0]
+		a.queue = a.queue[1:]
+		return batch, a.arrivals[batch], true
+	}
+	if a.next < len(a.arrivals) {
+		// Idle server: the next arrival is dispatched the instant it
+		// lands, so it can never be shed.
+		batch = a.next
+		a.next++
+		return batch, a.arrivals[batch], true
+	}
+	return 0, 0, false
+}
+
+// Depth returns the current number of waiting batches (for tests and
+// queue-depth telemetry).
+func (a *Admission) Depth() int { return len(a.queue) }
+
+// ShedSeqs returns the arrival indices shed so far, in arrival order. The
+// list is complete once Next has returned ok=false.
+func (a *Admission) ShedSeqs() []int { return append([]int(nil), a.shed...) }
+
+// ServeStats is the per-stream accounting a serving run returns alongside
+// its RunResult: one entry per DISPATCHED batch (in dispatch order), plus
+// the shed set. All times are virtual.
+type ServeStats struct {
+	// Arrivals counts every generated batch; Admitted the dispatched
+	// ones; Shed the dropped ones. Arrivals == Admitted + Shed.
+	Arrivals int
+	Admitted int
+	Shed     int
+	// ShedSeqs lists the shed batches' arrival-order ids.
+	ShedSeqs []int
+	// Per-dispatched-batch parallel slices, in dispatch order.
+	BatchSeq     []int     // arrival-order batch id
+	BatchArrival []float64 // admission clock (open-loop arrival time)
+	BatchStart   []float64 // master clock when dispatch began
+	BatchDone    []float64 // master clock when the batch's output landed
+	BatchQueries []int     // queries in the batch
+}
+
+// RecordDispatch appends one dispatched batch's accounting.
+func (s *ServeStats) RecordDispatch(seq int, arrival, start, done float64, queries int) {
+	s.Admitted++
+	s.BatchSeq = append(s.BatchSeq, seq)
+	s.BatchArrival = append(s.BatchArrival, arrival)
+	s.BatchStart = append(s.BatchStart, start)
+	s.BatchDone = append(s.BatchDone, done)
+	s.BatchQueries = append(s.BatchQueries, queries)
+}

@@ -19,6 +19,16 @@ func badV2() int {
 	return randv2.IntN(9) // want "rand.IntN draws from the global"
 }
 
+func badExp() float64 {
+	// Exponential gaps (open-loop arrival generators) are draws too.
+	return rand.ExpFloat64() // want "rand.ExpFloat64 draws from the global"
+}
+
+func goodExp(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.ExpFloat64() // seeded exponential gaps are fine
+}
+
 func good(seed int64) int {
 	rng := rand.New(rand.NewSource(seed))
 	var r *rand.Rand = rng // type references are fine

@@ -35,6 +35,60 @@ func TestExactQuantile(t *testing.T) {
 	}
 }
 
+// TestExactQuantileIntegralRank pins the nearest-rank rule at the exact
+// q*n-integral boundaries where float64 rounding used to shift the answer
+// one rank too high: 0.07*100 evaluates to 7.000000000000001, so a bare
+// Ceil picked the 8th element instead of the 7th. Every q = k/100 over
+// n = 100 must hit rank k exactly.
+func TestExactQuantileIntegralRank(t *testing.T) {
+	s := make([]float64, 100)
+	for i := range s {
+		s[i] = float64(i + 1)
+	}
+	for k := 1; k <= 100; k++ {
+		q := float64(k) / 100
+		if got := ExactQuantile(s, q); got != float64(k) {
+			t.Fatalf("q=%v over 1..100 → %g, want %d (nearest rank)", q, got, k)
+		}
+	}
+	// Same rule at other integral products: p50 of two samples is the
+	// 1st (smaller) one, p25 of eight samples is the 2nd.
+	if got := ExactQuantile([]float64{3, 9}, 0.5); got != 3 {
+		t.Fatalf("p50 of {3,9} = %g, want 3", got)
+	}
+	eight := []float64{8, 7, 6, 5, 4, 3, 2, 1}
+	if got := ExactQuantile(eight, 0.25); got != 2 {
+		t.Fatalf("p25 of 1..8 = %g, want 2", got)
+	}
+}
+
+// TestExactQuantileSingletonAndEdges: n=1 returns the sole sample for any
+// q; q=1.0 is the max and never indexes past the end; tiny q clamps to the
+// first rank.
+func TestExactQuantileSingletonAndEdges(t *testing.T) {
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if got := ExactQuantile([]float64{42}, q); got != 42 {
+			t.Fatalf("singleton q=%g = %g, want 42", q, got)
+		}
+	}
+	s := []float64{5, 1, 3}
+	if got := ExactQuantile(s, 1.0); got != 5 {
+		t.Fatalf("q=1.0 = %g, want max 5", got)
+	}
+	if got := ExactQuantile(s, 1e-12); got != 1 {
+		t.Fatalf("q→0 = %g, want min 1", got)
+	}
+	// Quantiles are monotone in q.
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.33, 0.34, 0.5, 0.66, 0.67, 0.9, 1.0} {
+		v := ExactQuantile(s, q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%g: %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+}
+
 // TestDistributionSnapshot: a distribution keeps both the bucketed view and
 // exact percentiles, and the snapshot orders series by (name, rank).
 func TestDistributionSnapshot(t *testing.T) {

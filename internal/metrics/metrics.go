@@ -304,20 +304,28 @@ type DistributionPoint struct {
 // ExactQuantile returns the nearest-rank q-quantile (0 < q <= 1) of a
 // sample set: the ceil(q*n)-th smallest value. The input need not be
 // sorted; it is not modified. Returns 0 on an empty set.
+//
+// The rank is computed with a small tolerance before rounding up: when
+// q*n is mathematically integral but the float64 product lands a hair
+// above the integer (e.g. 0.07*100 = 7.000000000000001), a bare Ceil
+// would shift the answer one rank too high. Nearest-rank demands the
+// ceil(q*n)-th element under exact arithmetic, so we absorb that ulp
+// noise. The tolerance (1e-9 ranks) is far below the half-unit gap
+// between adjacent ranks for any sample count this system produces.
 func ExactQuantile(samples []float64, q float64) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
-	i := int(math.Ceil(q*float64(len(s)))) - 1
-	if i < 0 {
-		i = 0
+	rank := int(math.Ceil(q*float64(len(s)) - 1e-9))
+	if rank < 1 {
+		rank = 1
 	}
-	if i >= len(s) {
-		i = len(s) - 1
+	if rank > len(s) {
+		rank = len(s)
 	}
-	return s[i]
+	return s[rank-1]
 }
 
 // Snapshot is a point-in-time copy of every instrument, ordered by

@@ -871,8 +871,17 @@ func flowOp(tag int) string {
 // deliverFlow adopts the envelope's trace context and reports the causal
 // edge for one delivered message. Called from the receiver's goroutine
 // after the delivery clock charges, outside the world lock.
+//
+// Adoption is monotone: a delivered envelope only advances the receiver's
+// batch context, never rewinds it. Batch ids are assigned in admission
+// order, so in a stream a late-arriving batch-N message (a straggler
+// worker's results, a retransmitted selection) delivered after the rank
+// moved on to batch N+1 must not drag the context backward — that would
+// stamp every subsequent send from this rank with the stale id. The flow
+// EDGE below still reports the envelope's own batch, so per-batch flow
+// splits stay exact.
 func (r *Rank) deliverFlow(m message) {
-	if m.batch >= 0 {
+	if m.batch > r.traceBatch {
 		r.traceBatch = m.batch
 	}
 	onFlow := r.world.config.OnFlow

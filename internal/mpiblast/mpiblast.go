@@ -57,6 +57,9 @@ type jobMeta struct {
 	// reduction fan-out.
 	Tree       bool
 	TreeFanout int
+	// Serve marks a streaming run: Queries is empty, and each batch's
+	// queries arrive in a per-batch broadcast instead (see serve.go).
+	Serve bool
 }
 
 type fetchKey struct {

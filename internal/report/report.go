@@ -267,6 +267,31 @@ func ParseRun(data []byte) (Run, error) {
 	return r, nil
 }
 
+// SLAInfo carries serving-mode stream accounting on a suite row: the
+// arrival-process configuration plus the admission outcome. Present only on
+// rows produced by the SLA experiment (streamed runs). An addition, not a
+// meaning change, so the artifact version stays.
+type SLAInfo struct {
+	// Sweep names the sweep the row belongs to: "rate" (arrival-rate sweep,
+	// fixed batch config), "batch" (batch-size sweep, fixed rate), or
+	// "shed" (bounded admission queue under overload).
+	Sweep string `json:"sweep"`
+	// ArrivalRate is the mean batch-arrival rate (batches per virtual
+	// second); Burst and BatchMean describe the arrival process.
+	ArrivalRate float64 `json:"arrival_rate"`
+	Burst       float64 `json:"burst,omitempty"`
+	BatchMean   int     `json:"batch_mean,omitempty"`
+	// AdmitCap is the admission-queue bound (0 = unbounded).
+	AdmitCap int `json:"admit_cap,omitempty"`
+	// Arrivals/Admitted/Shed is the stream accounting; Arrivals is always
+	// Admitted + Shed.
+	Arrivals int `json:"arrivals"`
+	Admitted int `json:"admitted"`
+	Shed     int `json:"shed"`
+	// Saturated marks a row whose bounded queue actually dropped work.
+	Saturated bool `json:"saturated,omitempty"`
+}
+
 // SuiteRow is one experiment row in a suite artifact.
 type SuiteRow struct {
 	Label      string     `json:"label,omitempty"`
@@ -275,6 +300,8 @@ type SuiteRow struct {
 	Fragments  int        `json:"fragments,omitempty"`
 	QueryBytes int        `json:"query_bytes,omitempty"`
 	Summary    RunSummary `json:"summary"`
+	// SLA is present on serving-mode (streamed) rows only.
+	SLA *SLAInfo `json:"sla,omitempty"`
 }
 
 // Experiment groups a named experiment's rows.
@@ -302,4 +329,20 @@ func (s Suite) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)
+}
+
+// ParseSuite reads a suite artifact back, rejecting wrong kinds and future
+// versions.
+func ParseSuite(data []byte) (Suite, error) {
+	var s Suite
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Suite{}, fmt.Errorf("report: %w", err)
+	}
+	if s.Kind != KindSuite {
+		return Suite{}, fmt.Errorf("report: artifact kind %q, want %q", s.Kind, KindSuite)
+	}
+	if s.Version < 1 || s.Version > Version {
+		return Suite{}, fmt.Errorf("report: unsupported artifact version %d (reader supports ≤%d)", s.Version, Version)
+	}
+	return s, nil
 }

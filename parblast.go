@@ -82,6 +82,15 @@ type (
 	IOTuner = mpiio.Tuner
 	// IOHintsArtifact is the persisted learned-hints document.
 	IOHintsArtifact = mpiio.HintsArtifact
+	// ArrivalConfig configures the open-loop arrival generator for
+	// serving-mode runs — see Cluster.Serve.
+	ArrivalConfig = workload.ArrivalConfig
+	// Batch is one arrival of the open-loop stream: a batch id, an arrival
+	// time, and the queries it carries.
+	Batch = workload.Batch
+	// ServeStats is the admission accounting of a serving-mode run:
+	// arrivals, admitted, shed, and per-batch clocks.
+	ServeStats = engine.ServeStats
 )
 
 // Molecule kinds.
@@ -94,6 +103,16 @@ const (
 const (
 	FormatPairwise = blast.FormatPairwise
 	FormatTabular  = blast.FormatTabular
+)
+
+// Batch-size distributions for the arrival generator.
+const (
+	// BatchSizeFixed: every batch holds exactly BatchMean queries.
+	BatchSizeFixed = workload.BatchFixed
+	// BatchSizeUniform: uniform in [1, 2·BatchMean-1], mean BatchMean.
+	BatchSizeUniform = workload.BatchUniform
+	// BatchSizeGeometric: geometric on {1,2,...}, mean BatchMean.
+	BatchSizeGeometric = workload.BatchGeometric
 )
 
 // Fault kinds.
@@ -128,6 +147,9 @@ var (
 	LoadIOTuner = mpiio.LoadTuner
 	// ParseIOHintsArtifact parses and validates a learned-hints document.
 	ParseIOHintsArtifact = mpiio.ParseHintsArtifact
+	// Arrivals generates a seeded open-loop arrival stream over a query set
+	// (Poisson, or bursty MMPP with Burst > 1) for Cluster.Serve.
+	Arrivals = workload.Arrivals
 )
 
 // Platform selects a storage configuration modelled on the paper's two
@@ -334,12 +356,9 @@ type Search struct {
 	Faults []Fault
 }
 
-// Run executes the search with the chosen engine and returns the timing
-// summary. The result file is written to s.Output on the shared FS.
-func (c *Cluster) Run(eng Engine, s Search) (Result, error) {
-	if s.DB == nil {
-		return Result{}, fmt.Errorf("parblast: search needs a database")
-	}
+// job builds the engine job for a search, defaulting kernel options to the
+// database's molecule kind.
+func (c *Cluster) job(s Search) *engine.Job {
 	opts := s.Options
 	if opts.Matrix == nil {
 		if s.DB.Kind == seq.DNA {
@@ -348,13 +367,18 @@ func (c *Cluster) Run(eng Engine, s Search) (Result, error) {
 			opts = blast.DefaultProteinOptions()
 		}
 	}
-	job := &engine.Job{
+	return &engine.Job{
 		DBBase:     s.DB.Base,
 		Queries:    s.Queries,
 		Options:    opts,
 		OutputPath: s.Output,
 		Fragments:  s.Fragments,
 	}
+}
+
+// mpiConfig wires the cluster's cost model, faults, metrics, and trace
+// observers into one runtime config.
+func (c *Cluster) mpiConfig(s Search) mpi.Config {
 	cfg := mpi.Config{Cost: c.cost, Speeds: s.Pio.NodeSpeeds, Faults: s.Faults, Metrics: c.metrics}
 	if c.trace != nil {
 		cfg.Observer = c.trace.Observer
@@ -377,6 +401,17 @@ func (c *Cluster) Run(eng Engine, s Search) (Result, error) {
 			}
 		}
 	}
+	return cfg
+}
+
+// Run executes the search with the chosen engine and returns the timing
+// summary. The result file is written to s.Output on the shared FS.
+func (c *Cluster) Run(eng Engine, s Search) (Result, error) {
+	if s.DB == nil {
+		return Result{}, fmt.Errorf("parblast: search needs a database")
+	}
+	job := c.job(s)
+	cfg := c.mpiConfig(s)
 	switch eng {
 	case EngineSequential:
 		if err := engine.RunSequential(c.nodes[0].Shared, job); err != nil {
@@ -393,6 +428,30 @@ func (c *Cluster) Run(eng Engine, s Search) (Result, error) {
 		return core.RunConfig(c.nodes, c.procs, cfg, job, s.Pio)
 	default:
 		return Result{}, fmt.Errorf("parblast: unknown engine %v", eng)
+	}
+}
+
+// Serve executes the search in streaming mode: the cluster warms up once
+// (database loaded, partitions resident), then each arrival batch is
+// admitted, searched, and appended to s.Output without reloading anything.
+// A positive admitCap bounds the admission queue; batches arriving beyond
+// it are deterministically shed (drop-newest). The concatenated output is
+// byte-identical to a one-shot Run over the admitted queries in arrival
+// order, and per-query latencies are measured from each batch's open-loop
+// arrival time.
+func (c *Cluster) Serve(eng Engine, s Search, batches []Batch, admitCap int) (Result, ServeStats, error) {
+	if s.DB == nil {
+		return Result{}, ServeStats{}, fmt.Errorf("parblast: search needs a database")
+	}
+	job := c.job(s)
+	cfg := c.mpiConfig(s)
+	switch eng {
+	case EngineMPIBlast:
+		return mpiblast.Serve(c.nodes, c.procs, cfg, job, s.Mpi, batches, admitCap)
+	case EnginePioBLAST:
+		return core.Serve(c.nodes, c.procs, cfg, job, s.Pio, batches, admitCap)
+	default:
+		return Result{}, ServeStats{}, fmt.Errorf("parblast: engine %v cannot serve (streaming needs a warm cluster)", eng)
 	}
 }
 

@@ -24,7 +24,10 @@ go vet ./...
 # anything not triaged into lint.baseline — fail the build.
 go run ./cmd/parblastlint ./...
 
-go test -race ./...
+# The experiments package runs whole simulated-cluster sweeps per test
+# and sits near go test's default 10m per-package limit under -race;
+# give it explicit headroom rather than flaking on loaded machines.
+go test -race -timeout 20m ./...
 
 # Fuzz smoke: a few seconds per codec hardening target. Finds shallow
 # panics in the wire codec and artifact reader without a long campaign.
@@ -69,6 +72,26 @@ go run ./cmd/benchsuite -exp mergescale -mergescale-ranks 8,16 >/dev/null
 # Latency-experiment smoke: the ranks × protocols sweep must run end to
 # end on a scaled-down workload.
 go run ./cmd/benchsuite -exp latency -dbseqs 120 >/dev/null
+
+# Serving-mode smoke: a streamed run over a warm cluster must be
+# byte-identical to the one-shot run over the same queries — both engines.
+go run ./cmd/parblast -db "$tmp/db.fasta" -query "$tmp/q.fasta" \
+    -engine pio -procs 4 -serve -arrival-rate 2 -arrival-seed 9 \
+    -out "$tmp/served_pio.txt" >/dev/null
+cmp "$tmp/results.txt" "$tmp/served_pio.txt"
+go run ./cmd/parblast -db "$tmp/db.fasta" -query "$tmp/q.fasta" \
+    -engine mpi -procs 4 -out "$tmp/results_mpi.txt" >/dev/null
+go run ./cmd/parblast -db "$tmp/db.fasta" -query "$tmp/q.fasta" \
+    -engine mpi -procs 4 -serve -arrival-rate 2 -arrival-seed 9 \
+    -out "$tmp/served_mpi.txt" >/dev/null
+cmp "$tmp/results_mpi.txt" "$tmp/served_mpi.txt"
+
+# SLA smoke: the serving sweep (both engines, rate/batch/shed) must run end
+# to end on a scaled-down workload — every row byte-identity-gated inside
+# the experiment — and its suite artifact must pass the -sla gate (monotone
+# percentiles, non-decreasing p99 along the rate sweep, a saturation row).
+go run ./cmd/benchsuite -exp sla -dbseqs 120 -report "$tmp/sla.json" >/dev/null
+go run ./scripts/validatereport -sla "$tmp/sla.json"
 
 # I/O auto-tuning smoke: the tuned-vs-fixed study enforces its own gate
 # (tuned never regresses the fixed heuristics on any fs profile, strictly

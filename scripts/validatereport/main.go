@@ -8,11 +8,18 @@
 //
 //	validatereport -run run.json [-trace trace.json] [-hints hints.json]
 //	               [-latency] [-latency-second other.json]
+//	validatereport -sla suite.json
 //
 // -latency additionally gates the per-query latency block: the summary must
 // carry exact percentiles (count > 0, p50 ≤ p95 ≤ p99 ≤ max, all finite and
 // non-negative). With -latency-second, the block must be byte-identical to
 // the one in a second artifact from a repeated run — the determinism check.
+//
+// -sla gates a benchsuite suite artifact's serving-mode experiment: every
+// row must carry a well-formed admission block (arrivals = admitted + shed)
+// and monotone latency percentiles, the rate sweep's p99 must be
+// non-decreasing per engine (the Lindley-recursion gate), and at least one
+// saturation row must have shed work.
 package main
 
 import (
@@ -148,6 +155,72 @@ func validateMetricsOrder(path string, s metrics.Snapshot) {
 	})
 }
 
+// validateSLA gates the serving-mode experiment of a suite artifact: a
+// well-formed admission block and monotone percentiles on every row,
+// per-engine non-decreasing p99 along the rate sweep, and a present
+// saturation row (shed > 0).
+func validateSLA(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	s, err := report.ParseSuite(data)
+	if err != nil {
+		fail("%s: %v", path, err)
+	}
+	var rows []report.SuiteRow
+	for _, e := range s.Experiments {
+		if e.Name == "sla" {
+			rows = e.Rows
+		}
+	}
+	if len(rows) == 0 {
+		fail("%s: no sla experiment in suite %q", path, s.Suite)
+	}
+	shedRows := 0
+	lastP99 := make(map[string]float64)
+	for _, r := range rows {
+		if r.SLA == nil {
+			fail("%s: sla row %q has no admission block", path, r.Label)
+		}
+		a := r.SLA
+		if a.Arrivals != a.Admitted+a.Shed {
+			fail("%s: row %q: arrivals %d != admitted %d + shed %d",
+				path, r.Label, a.Arrivals, a.Admitted, a.Shed)
+		}
+		if a.Saturated != (a.Shed > 0) {
+			fail("%s: row %q: saturated=%v inconsistent with shed=%d", path, r.Label, a.Saturated, a.Shed)
+		}
+		if a.Shed > 0 {
+			shedRows++
+		}
+		ls := r.Summary.QueryLatency
+		if ls == nil || ls.Count <= 0 {
+			fail("%s: row %q has no populated query_latency block", path, r.Label)
+		}
+		if !(ls.P50 <= ls.P95 && ls.P95 <= ls.P99 && ls.P99 <= ls.Max) {
+			fail("%s: row %q: percentiles not monotone: p50=%g p95=%g p99=%g max=%g",
+				path, r.Label, ls.P50, ls.P95, ls.P99, ls.Max)
+		}
+		if a.Sweep == "rate" {
+			// benchsuite emits rate rows in increasing-rate order per engine;
+			// queueing delay (hence p99) must not decrease along the sweep.
+			// The epsilon absorbs float rounding in done−arrival when there is
+			// no queueing at all and adjacent rates tie exactly.
+			if prev, ok := lastP99[r.Engine]; ok && ls.P99 < prev-1e-9 {
+				fail("%s: engine %s: p99 decreased along the rate sweep (%g after %g at rate %g)",
+					path, r.Engine, ls.P99, prev, a.ArrivalRate)
+			}
+			lastP99[r.Engine] = ls.P99
+		}
+	}
+	if shedRows == 0 {
+		fail("%s: no saturation row shed anything — the admission-cap gate never engaged", path)
+	}
+	fmt.Printf("%s: sla ok (%d rows, %d engines in rate sweep, %d saturated)\n",
+		path, len(rows), len(lastP99), shedRows)
+}
+
 func validateTrace(path string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -218,9 +291,10 @@ func main() {
 	hintsPath := flag.String("hints", "", "learned-hints artifact JSON to validate")
 	latency := flag.Bool("latency", false, "with -run: require the per-query latency block (present, monotone percentiles)")
 	latencySecond := flag.String("latency-second", "", "with -latency: second run report whose latency block must match byte-for-byte")
+	slaPath := flag.String("sla", "", "suite artifact JSON whose serving-mode (sla) experiment to gate")
 	flag.Parse()
-	if *runPath == "" && *tracePath == "" && *hintsPath == "" {
-		fail("nothing to validate: pass -run, -trace, and/or -hints")
+	if *runPath == "" && *tracePath == "" && *hintsPath == "" && *slaPath == "" {
+		fail("nothing to validate: pass -run, -trace, -hints, and/or -sla")
 	}
 	if *latency && *runPath == "" {
 		fail("-latency requires -run")
@@ -239,5 +313,8 @@ func main() {
 	}
 	if *hintsPath != "" {
 		validateHints(*hintsPath)
+	}
+	if *slaPath != "" {
+		validateSLA(*slaPath)
 	}
 }
