@@ -6,11 +6,16 @@
 //
 // Usage:
 //
-//	parblastlint [-json] [-analyzers a,b] [-baseline file] [-write-baseline] [packages...]
+//	parblastlint [-json] [-analyzers a,b] [-baseline file] [-write-baseline]
+//	             [-changed] [-changed-ref ref] [packages...]
 //
-// Packages default to ./... of the enclosing module. The exit status is 0
-// when every finding is baselined (or there are none), 1 when fresh
-// findings exist, 2 on usage or load errors.
+// Packages default to ./... of the enclosing module. With -changed, the
+// package list is instead derived from git: the directories of every .go
+// file modified since -changed-ref (default origin/main, falling back to
+// HEAD when that ref does not exist), plus untracked .go files — the
+// seconds-fast pre-push path wired up as `scripts/check.sh lint-fast`.
+// The exit status is 0 when every finding is baselined (or there are
+// none), 1 when fresh findings exist, 2 on usage or load errors.
 package main
 
 import (
@@ -27,6 +32,8 @@ func main() {
 	baselinePath := flag.String("baseline", "lint.baseline", "baseline file of triaged findings (relative to the module root)")
 	writeBaseline := flag.Bool("write-baseline", false, "rewrite the baseline file with the current findings and exit 0")
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	changed := flag.Bool("changed", false, "lint only packages with .go files changed since -changed-ref")
+	changedRef := flag.String("changed-ref", "origin/main", "git ref -changed diffs against (falls back to HEAD if missing)")
 	flag.Parse()
 
 	if *list {
@@ -45,6 +52,21 @@ func main() {
 		fatal(err)
 	}
 	patterns := flag.Args()
+	if *changed {
+		if len(patterns) != 0 {
+			fatal(fmt.Errorf("-changed derives the package list from git; explicit packages conflict"))
+		}
+		var ref string
+		patterns, ref, err = lint.ChangedPackages(loader.ModuleDir, *changedRef)
+		if err != nil {
+			fatal(err)
+		}
+		if len(patterns) == 0 {
+			fmt.Fprintf(os.Stderr, "parblastlint: no .go files changed since %s\n", ref)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "parblastlint: linting %d package(s) changed since %s\n", len(patterns), ref)
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}

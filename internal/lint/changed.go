@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ChangedPackages computes the package patterns touched since ref: the
+// directories of every .go file that `git diff` reports against ref,
+// plus untracked .go files. This is the -changed fast path — a branch
+// that touched two packages lints two packages, not the module.
+//
+// When ref does not resolve (a fresh clone with no origin/main yet), the
+// diff falls back to HEAD so the mode degrades to "lint uncommitted
+// work" instead of failing.
+func ChangedPackages(moduleDir, ref string) (patterns []string, resolvedRef string, err error) {
+	resolvedRef = ref
+	if !refExists(moduleDir, ref) {
+		resolvedRef = "HEAD"
+		if !refExists(moduleDir, resolvedRef) {
+			return nil, "", fmt.Errorf("lint: neither %q nor HEAD resolves to a git ref in %s", ref, moduleDir)
+		}
+	}
+	files, err := gitLines(moduleDir, "diff", "--name-only", resolvedRef, "--", "*.go")
+	if err != nil {
+		return nil, "", err
+	}
+	untracked, err := gitLines(moduleDir, "ls-files", "--others", "--exclude-standard", "--", "*.go")
+	if err != nil {
+		return nil, "", err
+	}
+	files = append(files, untracked...)
+
+	dirs := make(map[string]bool)
+	for _, f := range files {
+		if !strings.HasSuffix(f, ".go") {
+			continue
+		}
+		dir := filepath.Dir(f)
+		// testdata trees are invisible to `go list ./...` and hold lint
+		// fixtures that are violations on purpose; loading them next to
+		// real packages would also let fixture taint flow into shipped
+		// code through shared callees.
+		if underTestdata(dir) {
+			continue
+		}
+		// A directory can vanish between the diff and now (the change
+		// being linted deleted it); a pattern for it would fail go list.
+		if fi, err := os.Stat(filepath.Join(moduleDir, dir)); err != nil || !fi.IsDir() {
+			continue
+		}
+		if dir == "." {
+			dirs["./."] = true
+			continue
+		}
+		dirs["./"+filepath.ToSlash(dir)] = true
+	}
+	for d := range dirs {
+		patterns = append(patterns, d)
+	}
+	sort.Strings(patterns)
+	return patterns, resolvedRef, nil
+}
+
+// underTestdata reports whether a path has a testdata segment.
+func underTestdata(dir string) bool {
+	for _, seg := range strings.Split(filepath.ToSlash(dir), "/") {
+		if seg == "testdata" {
+			return true
+		}
+	}
+	return false
+}
+
+func refExists(dir, ref string) bool {
+	cmd := exec.Command("git", "rev-parse", "--verify", "--quiet", ref)
+	cmd.Dir = dir
+	return cmd.Run() == nil
+}
+
+func gitLines(dir string, args ...string) ([]string, error) {
+	cmd := exec.Command("git", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: git %s: %w", strings.Join(args, " "), err)
+	}
+	var lines []string
+	for _, l := range strings.Split(string(out), "\n") {
+		if l = strings.TrimSpace(l); l != "" {
+			lines = append(lines, l)
+		}
+	}
+	return lines, nil
+}

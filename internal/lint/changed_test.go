@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// gitIn runs one git command in dir, failing the test on error.
+func gitIn(t *testing.T, dir string, args ...string) {
+	t.Helper()
+	cmd := exec.Command("git", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(),
+		"GIT_AUTHOR_NAME=lint-test", "GIT_AUTHOR_EMAIL=lint@test",
+		"GIT_COMMITTER_NAME=lint-test", "GIT_COMMITTER_EMAIL=lint@test",
+	)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("git %v: %v\n%s", args, err, out)
+	}
+}
+
+func writeFileIn(t *testing.T, dir, rel, content string) {
+	t.Helper()
+	path := filepath.Join(dir, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChangedPackages drives the -changed fast path against a scratch
+// repo: modified, untracked, non-Go, and deleted-directory files must
+// map to exactly the surviving package directories.
+func TestChangedPackages(t *testing.T) {
+	dir := t.TempDir()
+	gitIn(t, dir, "init", "-q", "-b", "main")
+	writeFileIn(t, dir, "a/a.go", "package a\n")
+	writeFileIn(t, dir, "b/b.go", "package b\n")
+	writeFileIn(t, dir, "gone/gone.go", "package gone\n")
+	writeFileIn(t, dir, "root.go", "package root\n")
+	gitIn(t, dir, "add", ".")
+	gitIn(t, dir, "commit", "-q", "-m", "seed")
+
+	writeFileIn(t, dir, "a/a.go", "package a // changed\n")          // modified, tracked
+	writeFileIn(t, dir, "a/a2.go", "package a\n")                    // untracked, same dir
+	writeFileIn(t, dir, "c/c.go", "package c\n")                     // untracked, new dir
+	writeFileIn(t, dir, "c/testdata/src/f/f.go", "package f\n")      // fixture: ignored
+	writeFileIn(t, dir, "b/notes.txt", "not go\n")                   // non-Go: ignored
+	writeFileIn(t, dir, "root.go", "package root // changed\n")      // module root
+	if err := os.RemoveAll(filepath.Join(dir, "gone")); err != nil { // deleted dir
+		t.Fatal(err)
+	}
+	gitIn(t, dir, "rm", "-q", "gone/gone.go")
+
+	patterns, ref, err := ChangedPackages(dir, "main")
+	if err != nil {
+		t.Fatalf("ChangedPackages: %v", err)
+	}
+	if ref != "main" {
+		t.Errorf("resolved ref = %q, want main", ref)
+	}
+	want := []string{"./.", "./a", "./c"}
+	if !reflect.DeepEqual(patterns, want) {
+		t.Errorf("patterns = %v, want %v", patterns, want)
+	}
+}
+
+// A ref that does not exist falls back to HEAD instead of failing, so
+// clones without an origin/main still get the uncommitted-work diff.
+func TestChangedPackagesRefFallback(t *testing.T) {
+	dir := t.TempDir()
+	gitIn(t, dir, "init", "-q", "-b", "main")
+	writeFileIn(t, dir, "a/a.go", "package a\n")
+	gitIn(t, dir, "add", ".")
+	gitIn(t, dir, "commit", "-q", "-m", "seed")
+	writeFileIn(t, dir, "a/a.go", "package a // changed\n")
+
+	patterns, ref, err := ChangedPackages(dir, "origin/main")
+	if err != nil {
+		t.Fatalf("ChangedPackages: %v", err)
+	}
+	if ref != "HEAD" {
+		t.Errorf("resolved ref = %q, want HEAD fallback", ref)
+	}
+	if want := []string{"./a"}; !reflect.DeepEqual(patterns, want) {
+		t.Errorf("patterns = %v, want %v", patterns, want)
+	}
+}
+
+// A clean tree yields no patterns: the CLI prints a notice and exits 0
+// without loading anything.
+func TestChangedPackagesClean(t *testing.T) {
+	dir := t.TempDir()
+	gitIn(t, dir, "init", "-q", "-b", "main")
+	writeFileIn(t, dir, "a/a.go", "package a\n")
+	gitIn(t, dir, "add", ".")
+	gitIn(t, dir, "commit", "-q", "-m", "seed")
+
+	patterns, _, err := ChangedPackages(dir, "main")
+	if err != nil {
+		t.Fatalf("ChangedPackages: %v", err)
+	}
+	if len(patterns) != 0 {
+		t.Errorf("patterns = %v, want none on a clean tree", patterns)
+	}
+}

@@ -90,6 +90,9 @@ func All() []*Analyzer {
 		MapOrderAnalyzer,
 		TagMatchAnalyzer,
 		ClockNeutralAnalyzer,
+		CollOrderAnalyzer,
+		GoDiscAnalyzer,
+		SidebandAnalyzer,
 	}
 }
 

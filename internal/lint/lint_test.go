@@ -142,6 +142,13 @@ func TestClockNeutralFixture(t *testing.T) {
 	checkWants(t, ClockNeutralAnalyzer, "clockneutral", "clockneutralimp", "clockneutralok")
 }
 
+// The interprocedural analyzers: collective-protocol divergence,
+// goroutine discipline, and sideband taint. Each fixture mixes positive
+// cases, negative cases, and justification directives.
+func TestCollOrderFixture(t *testing.T) { checkWants(t, CollOrderAnalyzer, "collorder") }
+func TestGoDiscFixture(t *testing.T)    { checkWants(t, GoDiscAnalyzer, "godisc") }
+func TestSidebandFixture(t *testing.T)  { checkWants(t, SidebandAnalyzer, "sideband") }
+
 // TestJSONGolden pins the -json output: field order, indentation, and the
 // deterministic (file, line, col, analyzer, message) diagnostic ordering.
 func TestJSONGolden(t *testing.T) {
@@ -203,6 +210,36 @@ func TestBaselineFilter(t *testing.T) {
 	}
 	if len(fresh) != 1 || fresh[0].File != "b.go" {
 		t.Errorf("fresh = %v, want the b.go finding", fresh)
+	}
+}
+
+// A baselined finding from one analyzer must never mask a fresh finding
+// from a different analyzer at the same file and line: the analyzer name
+// is part of the baseline identity, so triaging a collorder divergence
+// cannot grandfather in a later godisc leak on the same statement.
+func TestBaselinePerAnalyzer(t *testing.T) {
+	coll := Diagnostic{File: "a.go", Line: 3, Col: 2, Analyzer: "collorder",
+		Message: "rank-dependent branch diverges on collectives"}
+	disc := Diagnostic{File: "a.go", Line: 3, Col: 2, Analyzer: "godisc",
+		Message: "goroutine has no join protocol"}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, []Diagnostic{coll}); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	fresh, baselined := b.Filter([]Diagnostic{coll, disc})
+	if len(baselined) != 1 || baselined[0].Analyzer != "collorder" {
+		t.Errorf("baselined = %v, want only the collorder finding", baselined)
+	}
+	if len(fresh) != 1 || fresh[0].Analyzer != "godisc" {
+		t.Errorf("fresh = %v, want the godisc finding to stay gate-failing", fresh)
 	}
 }
 

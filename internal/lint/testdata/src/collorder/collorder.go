@@ -1,0 +1,98 @@
+// Fixture for the collorder analyzer: rank-dependent control flow must
+// not change which collectives a rank reaches. The package imports the
+// real mpi runtime so the collective set and the rank-identity taint
+// sources are the shipped ones, not mocks.
+package collfix
+
+import (
+	"fmt"
+
+	"parblast/internal/mpi"
+)
+
+// A rank-dependent branch where only the master reaches the broadcast:
+// every other rank skips it and the world deadlocks.
+func divergeDirect(r *mpi.Rank) {
+	if r.ID() == 0 { // want "rank-dependent branch diverges on collectives"
+		r.Bcast(0, nil)
+	}
+}
+
+func announce(r *mpi.Rank) { r.Barrier() }
+
+func chat(r *mpi.Rank) { r.Send(1, 7, nil) }
+
+// The collective hides one call deep: the divergence is only visible
+// through the interprocedural footprint of announce.
+func divergeViaHelper(r *mpi.Rank) {
+	if r.ID() == 0 { // want "diverges on collectives"
+		announce(r)
+	} else {
+		chat(r)
+	}
+}
+
+func runOn(r *mpi.Rank, f func()) { f() }
+
+// The collective hides inside a closure passed as a value: the footprint
+// must splice through the function-valued argument.
+func divergeViaCallback(r *mpi.Rank) {
+	if r.ID() == 0 { // want "diverges on collectives"
+		runOn(r, func() { r.Barrier() })
+	}
+}
+
+// A loop bounded by the rank id runs a different number of barrier
+// rounds on every rank.
+func divergeLoop(r *mpi.Rank) {
+	for i := 0; i < r.ID(); i++ { // want "inside a rank-dependent loop"
+		r.Barrier()
+	}
+}
+
+// Rank-dependent branching is fine when both sides reach the same
+// collective set — the canonical root/non-root broadcast pattern.
+func matched(r *mpi.Rank, data []byte) []byte {
+	if r.ID() == 0 {
+		return r.Bcast(0, data)
+	}
+	return r.Bcast(0, nil)
+}
+
+// A side that returns a fresh error is the simulated MPI_Abort: it tears
+// the run down instead of desynchronizing it, so no divergence.
+func abortSide(r *mpi.Rank) error {
+	if r.ID() < 0 {
+		return fmt.Errorf("negative rank %d", r.ID())
+	}
+	r.Barrier()
+	return nil
+}
+
+// Rank-dependent branching with no collectives on either side diverges
+// on nothing.
+func plainWork(r *mpi.Rank) int {
+	if r.ID() == 0 {
+		return 1
+	}
+	return 2
+}
+
+// A justified divergence is the author's documented protocol contract.
+func justifiedDiverge(r *mpi.Rank) {
+	//lint:collorder master-only barrier pairs with the worker Recv loop in chat
+	if r.ID() == 0 {
+		r.Barrier()
+	} else {
+		chat(r)
+	}
+}
+
+// A bare justification is itself a finding: the reason is the review
+// record.
+func bareJustification(r *mpi.Rank) {
+	//lint:collorder
+	if r.ID() == 0 { // want "needs a justification"
+		r.Barrier()
+	}
+}

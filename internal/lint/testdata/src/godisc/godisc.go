@@ -1,0 +1,141 @@
+// Fixture for the godisc analyzer. The package is deliberately named
+// engine, which places it inside the goroutine-discipline set: every go
+// statement needs a provable join and every loop send needs a guard or a
+// capacity bound.
+package engine
+
+import "sync"
+
+func work() {}
+
+// No join protocol at all: the body neither signals a WaitGroup nor
+// touches a done channel.
+func leak() {
+	go func() { // want "no join protocol"
+		work()
+	}()
+}
+
+// The canonical WaitGroup join: Done in the body, Wait on the spawning
+// path.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// A done-channel join: the goroutine closes, the spawner receives.
+func doneJoined() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// The Wait exists, but an early return can leave before it: the
+// goroutine leaks on exactly the error paths serve mode cares about.
+func earlyReturn(fail bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	if fail {
+		return // want "can return before the goroutine started at line"
+	}
+	wg.Wait()
+}
+
+// A deferred Wait registered before the spawn is immune to every return
+// path, early errors included.
+func deferredWait(fail bool) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	if fail {
+		return
+	}
+	work()
+}
+
+// A function value cannot be resolved statically, so no join can be
+// proven.
+func dynamic(f func()) {
+	go f() // want "cannot be resolved statically"
+}
+
+func helperBody(done chan struct{}) {
+	work()
+	close(done)
+}
+
+// A named goroutine body whose join object is its own parameter: the
+// join is the owner's contract, and the spawner receives on it here.
+func namedJoined() {
+	done := make(chan struct{})
+	go helperBody(done)
+	<-done
+}
+
+// An unguarded, unbounded send inside a loop: one slow consumer and the
+// admission loop blocks forever.
+func unboundedSend(ch chan int, xs []int) {
+	for _, x := range xs {
+		ch <- x // want "neither select-guarded nor provably bounded"
+	}
+}
+
+// Select-guarded sends shed load instead of blocking.
+func guardedSend(ch chan int, xs []int) {
+	for _, x := range xs {
+		select {
+		case ch <- x:
+		default:
+		}
+	}
+}
+
+// Capacity provably covers the trip count: len(xs) slots, len(xs)
+// iterations.
+func boundedSend(xs []int) chan int {
+	ch := make(chan int, len(xs))
+	for _, x := range xs {
+		ch <- x
+	}
+	return ch
+}
+
+// A constant capacity covering a constant trip count also proves the
+// bound.
+func constBoundedSend() chan int {
+	ch := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		ch <- i
+	}
+	return ch
+}
+
+// A justified detached goroutine: the reason is the review record.
+func justifiedLeak() {
+	//lint:godisc process-lifetime logger, reaped by the harness at exit
+	go work()
+}
+
+// A justified loop send.
+func justifiedSend(ch chan int, xs []int) {
+	for _, x := range xs {
+		//lint:godisc the paired collector goroutine drains continuously
+		ch <- x
+	}
+}

@@ -6,6 +6,13 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# `check.sh lint-fast` is the seconds-fast pre-push path: lint only the
+# packages whose .go files changed since origin/main (falling back to
+# HEAD when that ref does not exist), instead of the whole module.
+if [ "${1:-}" = "lint-fast" ]; then
+    exec go run ./cmd/parblastlint -changed
+fi
+
 # gofmt produces no output when everything is formatted; any path printed
 # is a failure.
 unformatted=$(gofmt -l .)
